@@ -1,0 +1,178 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. placement policy (random vs naive vs ADAPT) on one fixed scenario;
+//! 2. collision-chain weighting (the paper's rate rule vs exact overlap);
+//! 3. the `m(k+1)/n` threshold on vs off;
+//! 4. speculative execution on vs off;
+//! 5. recovery-time distribution sensitivity (exponential vs heavy-tailed
+//!    gamma with equal mean — E[T] depends only on the mean; the
+//!    simulated elapsed time shows how far that M/G/1 insensitivity
+//!    carries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use adapt_availability::dist::{Dist, Gamma};
+use adapt_bench::table2_layout;
+use adapt_core::{AdaptPolicy, ChainWeighting, NaivePolicy, PlacementHashTable};
+use adapt_dfs::namenode::{NameNode, Threshold};
+use adapt_dfs::placement::{PlacementPolicy, RandomPolicy};
+use adapt_sim::engine::{MapPhaseSim, SimConfig};
+use adapt_sim::interrupt::InterruptionProcess;
+use adapt_sim::runner::placement_from_namenode;
+
+const NODES: usize = 16;
+const BLOCKS: usize = 160;
+const GAMMA: f64 = 10.0;
+
+fn run_scenario(
+    policy: &mut dyn PlacementPolicy,
+    threshold: Threshold,
+    speculation: bool,
+    service: Dist,
+    seed: u64,
+) -> f64 {
+    let mut nn = NameNode::new(table2_layout(NODES));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let file = nn
+        .create_file("f", BLOCKS, 1, policy, threshold, &mut rng)
+        .expect("placement succeeds");
+    let placement = placement_from_namenode(&nn, file).expect("file exists");
+    let processes: Vec<InterruptionProcess> = (0..NODES)
+        .map(|i| {
+            if i < NODES / 2 {
+                InterruptionProcess::none()
+            } else {
+                let groups = [(10.0, 4.0), (10.0, 8.0), (20.0, 4.0), (20.0, 8.0)];
+                let (mtbi, _mu) = groups[(i - NODES / 2) % 4];
+                InterruptionProcess::synthetic(mtbi, service)
+            }
+        })
+        .collect();
+    let cfg = SimConfig::new(8.0, adapt_dfs::BlockSize::DEFAULT, GAMMA)
+        .expect("valid config")
+        .with_speculation(speculation);
+    MapPhaseSim::new(processes, placement, cfg)
+        .expect("valid sim")
+        .run(seed)
+        .expect("run completes")
+        .elapsed
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let exp_service = Dist::exponential_from_mean(6.0).expect("valid");
+
+    // 1. Policy ablation.
+    c.bench_function("ablation/policy/random", |b| {
+        b.iter(|| {
+            black_box(run_scenario(
+                &mut RandomPolicy::new(),
+                Threshold::PaperDefault,
+                true,
+                exp_service,
+                1,
+            ))
+        })
+    });
+    c.bench_function("ablation/policy/naive", |b| {
+        b.iter(|| {
+            black_box(run_scenario(
+                &mut NaivePolicy::new(),
+                Threshold::PaperDefault,
+                true,
+                exp_service,
+                1,
+            ))
+        })
+    });
+    c.bench_function("ablation/policy/adapt", |b| {
+        b.iter(|| {
+            black_box(run_scenario(
+                &mut AdaptPolicy::new(GAMMA).expect("valid"),
+                Threshold::PaperDefault,
+                true,
+                exp_service,
+                1,
+            ))
+        })
+    });
+
+    // 2. Chain weighting (placement-path only).
+    let rates: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+    for (label, weighting) in [
+        ("rate", ChainWeighting::Rate),
+        ("overlap", ChainWeighting::Overlap),
+    ] {
+        let id = format!("ablation/chain_weighting/{label}");
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                let table = PlacementHashTable::build(black_box(&rates), 10_000, weighting)
+                    .expect("valid rates");
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut acc = 0usize;
+                for _ in 0..1_000 {
+                    acc += table.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // 3. Threshold on/off (end-to-end elapsed under ADAPT).
+    for (label, threshold) in [("paper", Threshold::PaperDefault), ("off", Threshold::None)] {
+        let id = format!("ablation/threshold/{label}");
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                black_box(run_scenario(
+                    &mut AdaptPolicy::new(GAMMA).expect("valid"),
+                    threshold,
+                    true,
+                    exp_service,
+                    3,
+                ))
+            })
+        });
+    }
+
+    // 4. Speculation on/off.
+    for (label, speculation) in [("on", true), ("off", false)] {
+        let id = format!("ablation/speculation/{label}");
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                black_box(run_scenario(
+                    &mut RandomPolicy::new(),
+                    Threshold::PaperDefault,
+                    speculation,
+                    exp_service,
+                    4,
+                ))
+            })
+        });
+    }
+
+    // 5. Service-time distribution sensitivity (equal means).
+    let heavy: Dist = Gamma::from_mean_cov(6.0, 3.0).expect("valid").into();
+    for (label, service) in [("exponential", exp_service), ("heavy_gamma", heavy)] {
+        let id = format!("ablation/service_dist/{label}");
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                black_box(run_scenario(
+                    &mut AdaptPolicy::new(GAMMA).expect("valid"),
+                    Threshold::PaperDefault,
+                    true,
+                    service,
+                    5,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 3 bench: one emulated-cluster scenario (elapsed-time metric)
+//! per policy series, at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adapt_bench::bench_emulated_config;
+use adapt_experiments::emulated::run_emulated;
+use adapt_experiments::PolicyKind;
+
+fn bench_fig3(c: &mut Criterion) {
+    let base = bench_emulated_config();
+    for (policy, replication) in [
+        (PolicyKind::Random, 1),
+        (PolicyKind::Random, 2),
+        (PolicyKind::Adapt, 1),
+        (PolicyKind::Adapt, 2),
+    ] {
+        let config = adapt_experiments::config::EmulatedConfig {
+            replication,
+            ..base
+        };
+        let id = format!("fig3/{}-{}rep", policy.label(), replication);
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                let agg = run_emulated(black_box(&config), policy).expect("scenario runs");
+                black_box(agg.elapsed.mean())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 4 bench: the locality metric across the bandwidth sweep at
+//! benchmark scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adapt_bench::bench_emulated_config;
+use adapt_experiments::config::EmulatedConfig;
+use adapt_experiments::emulated::run_emulated;
+use adapt_experiments::PolicyKind;
+
+fn bench_fig4(c: &mut Criterion) {
+    let base = bench_emulated_config();
+    for bandwidth in [4.0, 32.0] {
+        for policy in [PolicyKind::Random, PolicyKind::Adapt] {
+            let config = EmulatedConfig {
+                bandwidth_mbps: bandwidth,
+                ..base
+            };
+            let id = format!("fig4/{}@{}mbps", policy.label(), bandwidth);
+            c.bench_function(&id, |b| {
+                b.iter(|| {
+                    let agg = run_emulated(black_box(&config), policy).expect("scenario runs");
+                    black_box(agg.locality.mean())
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 5 bench: trace-driven large-scale simulation per policy at
+//! benchmark scale (world generation amortized outside the body).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adapt_bench::bench_largescale_config;
+use adapt_experiments::largescale::{run_largescale_in, World};
+use adapt_experiments::PolicyKind;
+
+fn bench_fig5(c: &mut Criterion) {
+    let config = bench_largescale_config();
+    let world = World::generate(&config).expect("world generates");
+
+    c.bench_function("fig5/world_generation_64_hosts", |b| {
+        b.iter(|| black_box(World::generate(black_box(&config)).expect("world generates")))
+    });
+
+    for policy in [PolicyKind::Random, PolicyKind::Naive, PolicyKind::Adapt] {
+        let id = format!("fig5/{}-1rep", policy.label());
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                let agg =
+                    run_largescale_in(black_box(&config), policy, &world).expect("scenario runs");
+                black_box(agg.total_overhead_ratio.mean())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

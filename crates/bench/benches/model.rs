@@ -1,0 +1,70 @@
+//! Placement-path microbenchmarks: the costs the paper claims are
+//! "minor overheads to the existing Hadoop framework" — equation (5)
+//! evaluation, hash-table construction, per-block placement decisions,
+//! and a whole NameNode ingest session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use adapt_availability::TaskModel;
+use adapt_bench::table2_layout;
+use adapt_core::{AdaptPolicy, ChainWeighting, PlacementHashTable};
+use adapt_dfs::namenode::{NameNode, Threshold};
+
+fn bench_model(c: &mut Criterion) {
+    c.bench_function("model/equation5_eval", |b| {
+        let m = TaskModel::new(0.05, 6.0, 12.0).expect("valid model");
+        b.iter(|| black_box(black_box(&m).expected_completion()))
+    });
+
+    // Hash table over 1 024 nodes and 100 000 block keys — the size the
+    // paper's NameNode would hold for a large ingest.
+    let mut rng = StdRng::seed_from_u64(5);
+    let rates: Vec<f64> = (0..1_024)
+        .map(|_| adapt_availability::dist::uniform_open01(&mut rng) + 0.01)
+        .collect();
+    c.bench_function("model/hash_table_build_1024x100k", |b| {
+        b.iter(|| {
+            black_box(
+                PlacementHashTable::build(black_box(&rates), 100_000, ChainWeighting::Rate)
+                    .expect("valid rates"),
+            )
+        })
+    });
+
+    let table =
+        PlacementHashTable::build(&rates, 100_000, ChainWeighting::Rate).expect("valid rates");
+    c.bench_function("model/hash_table_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+
+    c.bench_function("model/ingest_session_64nodes_1280blocks", |b| {
+        let specs = table2_layout(64);
+        b.iter(|| {
+            let mut nn = NameNode::new(specs.clone());
+            let mut policy = AdaptPolicy::new(10.0).expect("valid gamma");
+            let mut rng = StdRng::seed_from_u64(7);
+            let file = nn
+                .create_file(
+                    "f",
+                    1_280,
+                    1,
+                    &mut policy,
+                    Threshold::PaperDefault,
+                    &mut rng,
+                )
+                .expect("placement succeeds");
+            black_box(file)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_model
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 1 bench: synthetic SETI@home-like trace generation and pooled
+//! summarization throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adapt_traces::stats::summarize;
+use adapt_traces::synthetic::SyntheticPopulation;
+
+fn bench_table1(c: &mut Criterion) {
+    let population = SyntheticPopulation::seti_like()
+        .expect("built-in calibration targets are valid")
+        .hosts(256);
+
+    c.bench_function("table1/generate_256_hosts", |b| {
+        b.iter(|| {
+            black_box(
+                population
+                    .generate(black_box(7))
+                    .expect("generation succeeds"),
+            )
+        })
+    });
+
+    let trace = population.generate(7).expect("generation succeeds");
+    c.bench_function("table1/summarize_256_hosts", |b| {
+        b.iter(|| black_box(summarize(black_box(&trace))))
+    });
+
+    c.bench_function("table1/calibrate_population", |b| {
+        b.iter(|| black_box(SyntheticPopulation::seti_like().expect("calibration succeeds")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

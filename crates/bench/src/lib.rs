@@ -1,0 +1,63 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables/figures at a
+//! reduced, benchmark-friendly scale (Criterion runs the body many
+//! times); the full-scale reproductions live in the `adapt-experiments`
+//! binaries. The fixtures here keep scenario construction out of the
+//! measured bodies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use adapt_dfs::cluster::{NodeAvailability, NodeSpec};
+use adapt_experiments::config::{EmulatedConfig, LargeScaleConfig};
+
+/// A small emulated-cluster configuration sized for benchmarking.
+pub fn bench_emulated_config() -> EmulatedConfig {
+    EmulatedConfig {
+        nodes: 16,
+        blocks_per_node: 5,
+        runs: 1,
+        ..EmulatedConfig::default()
+    }
+}
+
+/// A small large-scale configuration sized for benchmarking.
+pub fn bench_largescale_config() -> LargeScaleConfig {
+    LargeScaleConfig {
+        nodes: 64,
+        tasks_per_node: 10,
+        runs: 1,
+        ..LargeScaleConfig::default()
+    }
+}
+
+/// The Table 2 availability layout at an arbitrary size.
+pub fn table2_layout(nodes: usize) -> Vec<NodeSpec> {
+    let groups = [(10.0, 4.0), (10.0, 8.0), (20.0, 4.0), (20.0, 8.0)];
+    (0..nodes)
+        .map(|i| {
+            if i < nodes / 2 {
+                NodeSpec::new(NodeAvailability::reliable())
+            } else {
+                let (mtbi, mu) = groups[(i - nodes / 2) % 4];
+                NodeSpec::new(NodeAvailability::from_mtbi(mtbi, mu).expect("valid Table 2"))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        assert_eq!(bench_emulated_config().nodes, 16);
+        assert_eq!(bench_largescale_config().nodes, 64);
+        let layout = table2_layout(8);
+        assert_eq!(layout.len(), 8);
+        assert!(layout[0].availability().is_reliable());
+        assert!(!layout[7].availability().is_reliable());
+    }
+}

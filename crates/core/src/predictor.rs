@@ -1,0 +1,248 @@
+//! The Performance Predictor (paper Section IV-A).
+//!
+//! Implemented on the NameNode, the predictor combines each node's
+//! heartbeat-derived interruption parameters with the failure-free task
+//! length `γ` (from Hadoop's logging services) to produce the expected
+//! task execution time `E[Tᵢ]` of equation (5), and from it the placement
+//! rate `rateᵢ = (1/E[Tᵢ])/Φ` with `Φ = Σ 1/E[Tᵢ]` that Algorithm 1
+//! consumes.
+
+use adapt_availability::AvailabilityError;
+use adapt_dfs::placement::ClusterView;
+use adapt_dfs::NodeId;
+
+/// Per-node expected task times and normalized placement rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRates {
+    expected: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+impl NodeRates {
+    /// Expected task completion time `E[Tᵢ]` per node (`f64::INFINITY`
+    /// for nodes that can never finish: dead, or unstable `λμ ≥ 1`).
+    pub fn expected_times(&self) -> &[f64] {
+        &self.expected
+    }
+
+    /// Normalized placement rates per node; they sum to 1 unless every
+    /// node is unusable.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The rate of one node, or `None` if out of range.
+    pub fn rate(&self, node: NodeId) -> Option<f64> {
+        self.rates.get(node.0 as usize).copied()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Whether at least one node has a positive rate.
+    pub fn any_usable(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0.0)
+    }
+}
+
+/// Computes expected task times per node from the heartbeat-collected
+/// availability parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerformancePredictor {
+    gamma: f64,
+}
+
+impl PerformancePredictor {
+    /// Creates a predictor for tasks of failure-free length `gamma`
+    /// seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AvailabilityError::InvalidParameter`] if `gamma` is not
+    /// finite and positive.
+    pub fn new(gamma: f64) -> Result<Self, AvailabilityError> {
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(AvailabilityError::InvalidParameter {
+                name: "gamma",
+                value: gamma,
+                requirement: "must be finite and > 0",
+            });
+        }
+        Ok(PerformancePredictor { gamma })
+    }
+
+    /// The failure-free task length.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Expected completion time for one node's parameters, following the
+    /// paper's conventions:
+    ///
+    /// * a reliable node (`λ = 0`) completes in exactly `γ`;
+    /// * an unstable node (`λμ ≥ 1`) never completes (`+∞`), so its
+    ///   placement weight is zero;
+    /// * a dead node never completes (`+∞`).
+    pub fn expected_time(&self, availability: adapt_dfs::NodeAvailability, alive: bool) -> f64 {
+        if !alive {
+            return f64::INFINITY;
+        }
+        availability
+            .expected_completion(self.gamma)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Computes `E[Tᵢ]` and normalized rates for every node in the view.
+    pub fn rates(&self, cluster: &ClusterView) -> NodeRates {
+        let expected: Vec<f64> = cluster
+            .nodes()
+            .iter()
+            .map(|n| self.expected_time(n.availability, n.alive))
+            .collect();
+        let inverse: Vec<f64> = expected
+            .iter()
+            .map(|&t| {
+                if t.is_finite() && t > 0.0 {
+                    1.0 / t
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let phi: f64 = inverse.iter().sum();
+        let rates = if phi > 0.0 {
+            inverse.iter().map(|&r| r / phi).collect()
+        } else {
+            inverse
+        };
+        NodeRates { expected, rates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_dfs::placement::NodeView;
+    use adapt_dfs::NodeAvailability;
+
+    fn view(avails: Vec<(NodeAvailability, bool)>) -> ClusterView {
+        ClusterView::new(
+            avails
+                .into_iter()
+                .enumerate()
+                .map(|(i, (availability, alive))| NodeView {
+                    id: NodeId(i as u32),
+                    availability,
+                    alive,
+                    stored_blocks: 0,
+                    capacity_blocks: None,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn rejects_bad_gamma() {
+        assert!(PerformancePredictor::new(0.0).is_err());
+        assert!(PerformancePredictor::new(-1.0).is_err());
+        assert!(PerformancePredictor::new(f64::NAN).is_err());
+        assert_eq!(PerformancePredictor::new(12.0).unwrap().gamma(), 12.0);
+    }
+
+    #[test]
+    fn reliable_node_rate_dominates_flaky_node() {
+        let p = PerformancePredictor::new(12.0).unwrap();
+        let v = view(vec![
+            (NodeAvailability::reliable(), true),
+            (NodeAvailability::from_mtbi(10.0, 4.0).unwrap(), true),
+        ]);
+        let r = p.rates(&v);
+        assert_eq!(r.len(), 2);
+        assert!(r.rate(NodeId(0)).unwrap() > r.rate(NodeId(1)).unwrap());
+        assert_eq!(r.expected_times()[0], 12.0);
+        assert!(r.expected_times()[1] > 12.0);
+    }
+
+    #[test]
+    fn rates_are_normalized() {
+        let p = PerformancePredictor::new(12.0).unwrap();
+        let v = view(vec![
+            (NodeAvailability::from_mtbi(10.0, 4.0).unwrap(), true),
+            (NodeAvailability::from_mtbi(10.0, 8.0).unwrap(), true),
+            (NodeAvailability::from_mtbi(20.0, 4.0).unwrap(), true),
+            (NodeAvailability::from_mtbi(20.0, 8.0).unwrap(), true),
+        ]);
+        let r = p.rates(&v);
+        let sum: f64 = r.rates().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(r.any_usable());
+    }
+
+    #[test]
+    fn rates_are_proportional_to_inverse_expected_time() {
+        let p = PerformancePredictor::new(12.0).unwrap();
+        let a = NodeAvailability::from_mtbi(10.0, 4.0).unwrap();
+        let b = NodeAvailability::from_mtbi(20.0, 4.0).unwrap();
+        let v = view(vec![(a, true), (b, true)]);
+        let r = p.rates(&v);
+        let ta = r.expected_times()[0];
+        let tb = r.expected_times()[1];
+        let ratio_rates = r.rates()[0] / r.rates()[1];
+        let ratio_times = tb / ta;
+        assert!((ratio_rates - ratio_times).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_node_gets_zero_rate() {
+        let p = PerformancePredictor::new(12.0).unwrap();
+        let v = view(vec![
+            (NodeAvailability::reliable(), true),
+            (NodeAvailability::reliable(), false),
+        ]);
+        let r = p.rates(&v);
+        assert_eq!(r.rate(NodeId(1)), Some(0.0));
+        assert!(r.expected_times()[1].is_infinite());
+        assert!((r.rate(NodeId(0)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_node_gets_zero_rate() {
+        let p = PerformancePredictor::new(12.0).unwrap();
+        // MTBI 5 s, recovery 10 s: rho = 2 — never completes.
+        let v = view(vec![
+            (NodeAvailability::from_mtbi(5.0, 10.0).unwrap(), true),
+            (NodeAvailability::reliable(), true),
+        ]);
+        let r = p.rates(&v);
+        assert_eq!(r.rate(NodeId(0)), Some(0.0));
+        assert!(r.any_usable());
+    }
+
+    #[test]
+    fn all_unusable_cluster_reports_no_usable_rates() {
+        let p = PerformancePredictor::new(12.0).unwrap();
+        let v = view(vec![(NodeAvailability::reliable(), false)]);
+        let r = p.rates(&v);
+        assert!(!r.any_usable());
+        assert!(!r.is_empty());
+        assert!(r.rate(NodeId(5)).is_none());
+    }
+
+    #[test]
+    fn homogeneous_cluster_gets_equal_rates() {
+        let p = PerformancePredictor::new(12.0).unwrap();
+        let a = NodeAvailability::from_mtbi(10.0, 4.0).unwrap();
+        let v = view(vec![(a, true); 8]);
+        let r = p.rates(&v);
+        for &rate in r.rates() {
+            assert!((rate - 0.125).abs() < 1e-12);
+        }
+    }
+}

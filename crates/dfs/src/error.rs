@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::block::{BlockId, FileId, NodeId};
+
+/// Errors produced by NameNode metadata operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DfsError {
+    /// The referenced node does not exist.
+    UnknownNode(NodeId),
+    /// The referenced file does not exist.
+    UnknownFile(FileId),
+    /// The referenced block does not exist.
+    UnknownBlock(BlockId),
+    /// Not enough eligible nodes were available to place a replica.
+    InsufficientNodes {
+        /// Replicas requested per block.
+        needed: usize,
+        /// Distinct eligible nodes available.
+        eligible: usize,
+    },
+    /// An argument was out of domain (e.g. zero blocks or replicas).
+    InvalidArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// An internal metadata invariant was violated (reported by
+    /// [`validate`](crate::namenode::NameNode::validate)).
+    CorruptMetadata {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            DfsError::UnknownFile(id) => write!(f, "unknown file {id}"),
+            DfsError::UnknownBlock(id) => write!(f, "unknown block {id}"),
+            DfsError::InsufficientNodes { needed, eligible } => write!(
+                f,
+                "cannot place {needed} replicas: only {eligible} eligible nodes"
+            ),
+            DfsError::InvalidArgument { name, reason } => {
+                write!(f, "invalid argument `{name}`: {reason}")
+            }
+            DfsError::CorruptMetadata { reason } => {
+                write!(f, "corrupt namenode metadata: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DfsError::UnknownNode(NodeId(3))
+            .to_string()
+            .contains("node3"));
+        assert!(DfsError::InsufficientNodes {
+            needed: 3,
+            eligible: 2
+        }
+        .to_string()
+        .contains("3 replicas"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DfsError>();
+    }
+}

@@ -1,0 +1,864 @@
+//! The NameNode: centralized file/block/replica metadata and the
+//! placement session.
+//!
+//! Mirrors the paper's description of HDFS 0.20.2: one NameNode holds all
+//! metadata in memory; files are split into equal-sized blocks; each block
+//! has `k` replicas on *distinct* DataNodes; placement is delegated to a
+//! policy. The ADAPT-specific threshold of Section IV-C — no node may
+//! receive more than `m(k+1)/n` blocks of one file — is enforced here so
+//! that every policy competes under the same storage-fairness rule.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::block::{BlockId, FileId, NodeId};
+use crate::cluster::{NodeAvailability, NodeSpec};
+use crate::placement::{ClusterView, NodeView, PlacementPolicy};
+use crate::DfsError;
+
+/// Per-node block cap for one file's placement session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Threshold {
+    /// No cap: a policy may pile arbitrarily many blocks on one node.
+    None,
+    /// The paper's rule (Section IV-C): at most `⌈m(k+1)/n⌉` blocks of a
+    /// file of `m` blocks with `k` replicas on an `n`-node cluster —
+    /// "the data blocks allocated to each node do not exceed its expected
+    /// number with one more replica".
+    #[default]
+    PaperDefault,
+    /// An explicit per-node cap in blocks.
+    Blocks(usize),
+}
+
+impl Threshold {
+    /// The concrete cap for a session of `m` blocks, `k` replicas, `n`
+    /// nodes, or `None` if uncapped.
+    ///
+    /// The paper's formula is rounded up and floored at 1 so that a valid
+    /// placement always exists when `m·k ≤ cap·n`.
+    pub fn cap(&self, m: usize, k: usize, n: usize) -> Option<usize> {
+        match self {
+            Threshold::None => None,
+            Threshold::PaperDefault => {
+                if n == 0 {
+                    return Some(0);
+                }
+                Some(((m * (k + 1)).div_ceil(n)).max(1))
+            }
+            Threshold::Blocks(cap) => Some(*cap),
+        }
+    }
+}
+
+/// Metadata of one file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileMeta {
+    name: String,
+    replication: usize,
+    blocks: Vec<BlockId>,
+}
+
+impl FileMeta {
+    /// The file's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replication factor `k`.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The file's blocks, in order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+}
+
+/// Metadata of one block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    file: FileId,
+    index: usize,
+    replicas: Vec<NodeId>,
+}
+
+impl BlockMeta {
+    /// The file the block belongs to.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// The block's position within its file.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The nodes holding a replica, in placement order.
+    pub fn replicas(&self) -> &[NodeId] {
+        &self.replicas
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeEntry {
+    spec: NodeSpec,
+    alive: bool,
+    stored: BTreeSet<BlockId>,
+}
+
+/// The centralized metadata manager.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone)]
+pub struct NameNode {
+    nodes: Vec<NodeEntry>,
+    files: BTreeMap<FileId, FileMeta>,
+    blocks: BTreeMap<BlockId, BlockMeta>,
+    next_file: u64,
+    next_block: u64,
+}
+
+impl NameNode {
+    /// Creates a NameNode managing the given DataNodes. `NodeId`s are
+    /// assigned by position.
+    pub fn new(specs: Vec<NodeSpec>) -> Self {
+        NameNode {
+            nodes: specs
+                .into_iter()
+                .map(|spec| NodeEntry {
+                    spec,
+                    alive: true,
+                    stored: BTreeSet::new(),
+                })
+                .collect(),
+            files: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            next_file: 0,
+            next_block: 0,
+        }
+    }
+
+    /// Number of registered DataNodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of currently alive DataNodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// The interruption parameters recorded for a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownNode`] for an unregistered node.
+    pub fn availability(&self, node: NodeId) -> Result<NodeAvailability, DfsError> {
+        Ok(self.entry(node)?.spec.availability())
+    }
+
+    /// Updates a node's interruption parameters (the heartbeat-collector
+    /// path feeding ADAPT's Performance Predictor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownNode`] for an unregistered node.
+    pub fn set_availability(
+        &mut self,
+        node: NodeId,
+        availability: NodeAvailability,
+    ) -> Result<(), DfsError> {
+        self.entry_mut(node)?.spec.set_availability(availability);
+        Ok(())
+    }
+
+    /// Marks a node as down (heartbeat timeout). Its blocks remain on
+    /// persistent storage and become readable again when it returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownNode`] for an unregistered node.
+    pub fn mark_down(&mut self, node: NodeId) -> Result<(), DfsError> {
+        self.entry_mut(node)?.alive = false;
+        Ok(())
+    }
+
+    /// Marks a node as alive again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownNode`] for an unregistered node.
+    pub fn mark_up(&mut self, node: NodeId) -> Result<(), DfsError> {
+        self.entry_mut(node)?.alive = true;
+        Ok(())
+    }
+
+    /// Whether a node is currently alive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownNode`] for an unregistered node.
+    pub fn is_alive(&self, node: NodeId) -> Result<bool, DfsError> {
+        Ok(self.entry(node)?.alive)
+    }
+
+    /// Takes a consistent snapshot of the cluster for a placement session.
+    pub fn cluster_view(&self) -> ClusterView {
+        ClusterView::new(
+            self.nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| NodeView {
+                    id: NodeId(i as u32),
+                    availability: n.spec.availability(),
+                    alive: n.alive,
+                    stored_blocks: n.stored.len(),
+                    capacity_blocks: n.spec.capacity_blocks(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Creates a file of `num_blocks` blocks with `replication` replicas
+    /// each, placing every replica through `policy` under the given
+    /// `threshold`.
+    ///
+    /// If the threshold makes a replica unplaceable the cap is relaxed for
+    /// that replica (the paper's threshold "tunes" placement; it must not
+    /// wedge ingestion), and if even the relaxed search fails the whole
+    /// creation is rolled back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::InvalidArgument`] for zero blocks/replicas or a
+    /// replication factor exceeding the cluster size, and
+    /// [`DfsError::InsufficientNodes`] if a replica cannot be placed on
+    /// any alive node with free capacity.
+    pub fn create_file(
+        &mut self,
+        name: &str,
+        num_blocks: usize,
+        replication: usize,
+        policy: &mut dyn PlacementPolicy,
+        threshold: Threshold,
+        rng: &mut dyn Rng,
+    ) -> Result<FileId, DfsError> {
+        if num_blocks == 0 {
+            return Err(DfsError::InvalidArgument {
+                name: "num_blocks",
+                reason: "file must have at least one block".into(),
+            });
+        }
+        if replication == 0 {
+            return Err(DfsError::InvalidArgument {
+                name: "replication",
+                reason: "replication factor must be at least 1".into(),
+            });
+        }
+        if replication > self.nodes.len() {
+            return Err(DfsError::InvalidArgument {
+                name: "replication",
+                reason: format!(
+                    "replication {replication} exceeds cluster size {}",
+                    self.nodes.len()
+                ),
+            });
+        }
+
+        let view = self.cluster_view();
+        policy.prepare(&view, num_blocks)?;
+        let cap = threshold.cap(num_blocks, replication, self.nodes.len());
+
+        // Live per-node counts: stored blocks (capacity) and blocks of
+        // this file placed so far (threshold).
+        let mut stored: Vec<usize> = self.nodes.iter().map(|n| n.stored.len()).collect();
+        let mut session: Vec<usize> = vec![0; self.nodes.len()];
+
+        let mut placements: Vec<Vec<NodeId>> = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            let mut replicas: Vec<NodeId> = Vec::with_capacity(replication);
+            for _ in 0..replication {
+                let chosen = {
+                    let base_eligible = |id: NodeId| {
+                        let i = id.0 as usize;
+                        let entry = &self.nodes[i];
+                        entry.alive
+                            && !replicas.contains(&id)
+                            && entry.spec.capacity_blocks().is_none_or(|c| stored[i] < c)
+                    };
+                    let with_threshold = |id: NodeId| {
+                        base_eligible(id) && cap.is_none_or(|c| session[id.0 as usize] < c)
+                    };
+                    match policy.select(&view, &with_threshold, rng) {
+                        Some(node) => Some(node),
+                        // Threshold made placement impossible: relax it
+                        // rather than fail ingestion.
+                        None => policy.select(&view, &base_eligible, rng),
+                    }
+                };
+                match chosen {
+                    Some(node) => {
+                        stored[node.0 as usize] += 1;
+                        session[node.0 as usize] += 1;
+                        replicas.push(node);
+                    }
+                    None => {
+                        return Err(DfsError::InsufficientNodes {
+                            needed: replication,
+                            eligible: replicas.len(),
+                        });
+                    }
+                }
+            }
+            placements.push(replicas);
+        }
+
+        // Commit.
+        let file_id = FileId(self.next_file);
+        self.next_file += 1;
+        let mut block_ids = Vec::with_capacity(num_blocks);
+        for (index, replicas) in placements.into_iter().enumerate() {
+            let block_id = BlockId(self.next_block);
+            self.next_block += 1;
+            for node in &replicas {
+                self.nodes[node.0 as usize].stored.insert(block_id);
+            }
+            self.blocks.insert(
+                block_id,
+                BlockMeta {
+                    file: file_id,
+                    index,
+                    replicas,
+                },
+            );
+            block_ids.push(block_id);
+        }
+        self.files.insert(
+            file_id,
+            FileMeta {
+                name: name.to_owned(),
+                replication,
+                blocks: block_ids,
+            },
+        );
+        Ok(file_id)
+    }
+
+    /// Deletes a file and releases its blocks from every DataNode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownFile`] for an unregistered file.
+    pub fn delete_file(&mut self, file: FileId) -> Result<(), DfsError> {
+        let meta = self
+            .files
+            .remove(&file)
+            .ok_or(DfsError::UnknownFile(file))?;
+        for block in meta.blocks {
+            if let Some(bm) = self.blocks.remove(&block) {
+                for node in bm.replicas {
+                    self.nodes[node.0 as usize].stored.remove(&block);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The metadata of a file.
+    pub fn file(&self, id: FileId) -> Option<&FileMeta> {
+        self.files.get(&id)
+    }
+
+    /// The metadata of a block.
+    pub fn block(&self, id: BlockId) -> Option<&BlockMeta> {
+        self.blocks.get(&id)
+    }
+
+    /// The replica locations of a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownBlock`] for an unregistered block.
+    pub fn replicas(&self, block: BlockId) -> Result<&[NodeId], DfsError> {
+        Ok(self
+            .blocks
+            .get(&block)
+            .ok_or(DfsError::UnknownBlock(block))?
+            .replicas())
+    }
+
+    /// Number of blocks stored on a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownNode`] for an unregistered node.
+    pub fn node_block_count(&self, node: NodeId) -> Result<usize, DfsError> {
+        Ok(self.entry(node)?.stored.len())
+    }
+
+    /// The blocks stored on a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownNode`] for an unregistered node.
+    pub fn node_blocks(&self, node: NodeId) -> Result<&BTreeSet<BlockId>, DfsError> {
+        Ok(&self.entry(node)?.stored)
+    }
+
+    /// Per-node replica counts for one file (a length-`n` histogram).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownFile`] for an unregistered file.
+    pub fn file_distribution(&self, file: FileId) -> Result<Vec<usize>, DfsError> {
+        let meta = self.files.get(&file).ok_or(DfsError::UnknownFile(file))?;
+        let mut counts = vec![0usize; self.nodes.len()];
+        for block in &meta.blocks {
+            for node in self.blocks[block].replicas() {
+                counts[node.0 as usize] += 1;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Total replicas stored across the cluster.
+    pub fn total_stored(&self) -> usize {
+        self.nodes.iter().map(|n| n.stored.len()).sum()
+    }
+
+    /// Moves one replica of `block` from `from` to `to`, keeping metadata
+    /// consistent. Used by the rebalancer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownBlock`]/[`DfsError::UnknownNode`] for
+    /// unregistered ids, and [`DfsError::InvalidArgument`] if `from` does
+    /// not hold the block or `to` already does.
+    pub fn move_replica(
+        &mut self,
+        block: BlockId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), DfsError> {
+        if from.0 as usize >= self.nodes.len() {
+            return Err(DfsError::UnknownNode(from));
+        }
+        if to.0 as usize >= self.nodes.len() {
+            return Err(DfsError::UnknownNode(to));
+        }
+        let meta = self
+            .blocks
+            .get_mut(&block)
+            .ok_or(DfsError::UnknownBlock(block))?;
+        let Some(pos) = meta.replicas.iter().position(|&r| r == from) else {
+            return Err(DfsError::InvalidArgument {
+                name: "from",
+                reason: format!("{from} holds no replica of {block}"),
+            });
+        };
+        if meta.replicas.contains(&to) {
+            return Err(DfsError::InvalidArgument {
+                name: "to",
+                reason: format!("{to} already holds a replica of {block}"),
+            });
+        }
+        meta.replicas[pos] = to;
+        self.nodes[from.0 as usize].stored.remove(&block);
+        self.nodes[to.0 as usize].stored.insert(block);
+        Ok(())
+    }
+
+    /// Adds a replica of `block` on `node` (the re-replication path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownBlock`]/[`DfsError::UnknownNode`] for
+    /// unregistered ids and [`DfsError::InvalidArgument`] if the node
+    /// already holds the block or is at capacity.
+    pub fn add_replica(&mut self, block: BlockId, node: NodeId) -> Result<(), DfsError> {
+        if node.0 as usize >= self.nodes.len() {
+            return Err(DfsError::UnknownNode(node));
+        }
+        let entry = &self.nodes[node.0 as usize];
+        if entry
+            .spec
+            .capacity_blocks()
+            .is_some_and(|c| entry.stored.len() >= c)
+        {
+            return Err(DfsError::InvalidArgument {
+                name: "node",
+                reason: format!("{node} is at storage capacity"),
+            });
+        }
+        let meta = self
+            .blocks
+            .get_mut(&block)
+            .ok_or(DfsError::UnknownBlock(block))?;
+        if meta.replicas.contains(&node) {
+            return Err(DfsError::InvalidArgument {
+                name: "node",
+                reason: format!("{node} already holds a replica of {block}"),
+            });
+        }
+        meta.replicas.push(node);
+        self.nodes[node.0 as usize].stored.insert(block);
+        Ok(())
+    }
+
+    /// Removes the replica of `block` held by `node` (the trim path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownBlock`]/[`DfsError::UnknownNode`] for
+    /// unregistered ids, [`DfsError::InvalidArgument`] if the node holds
+    /// no replica or it is the block's last replica (metadata must never
+    /// lose a block entirely).
+    pub fn remove_replica(&mut self, block: BlockId, node: NodeId) -> Result<(), DfsError> {
+        if node.0 as usize >= self.nodes.len() {
+            return Err(DfsError::UnknownNode(node));
+        }
+        let meta = self
+            .blocks
+            .get_mut(&block)
+            .ok_or(DfsError::UnknownBlock(block))?;
+        let Some(pos) = meta.replicas.iter().position(|&r| r == node) else {
+            return Err(DfsError::InvalidArgument {
+                name: "node",
+                reason: format!("{node} holds no replica of {block}"),
+            });
+        };
+        if meta.replicas.len() == 1 {
+            return Err(DfsError::InvalidArgument {
+                name: "node",
+                reason: format!("{node} holds the last replica of {block}"),
+            });
+        }
+        meta.replicas.remove(pos);
+        self.nodes[node.0 as usize].stored.remove(&block);
+        Ok(())
+    }
+
+    /// Iterates over all files with their metadata, in id order.
+    pub fn files(&self) -> impl Iterator<Item = (FileId, &FileMeta)> {
+        self.files.iter().map(|(&id, meta)| (id, meta))
+    }
+
+    /// Checks every metadata invariant: replica distinctness, block↔node
+    /// cross-references, file↔block membership, and capacity limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::CorruptMetadata`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), DfsError> {
+        for (id, meta) in &self.blocks {
+            let mut seen = BTreeSet::new();
+            for node in meta.replicas() {
+                if node.0 as usize >= self.nodes.len() {
+                    return Err(DfsError::CorruptMetadata {
+                        reason: format!("{id} references unregistered {node}"),
+                    });
+                }
+                if !seen.insert(*node) {
+                    return Err(DfsError::CorruptMetadata {
+                        reason: format!("{id} has duplicate replica on {node}"),
+                    });
+                }
+                if !self.nodes[node.0 as usize].stored.contains(id) {
+                    return Err(DfsError::CorruptMetadata {
+                        reason: format!("{id} lists {node} but node does not store it"),
+                    });
+                }
+            }
+            if !self
+                .files
+                .get(&meta.file)
+                .is_some_and(|f| f.blocks.contains(id))
+            {
+                return Err(DfsError::CorruptMetadata {
+                    reason: format!("{id} references missing or inconsistent {}", meta.file),
+                });
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            for block in &node.stored {
+                if !self
+                    .blocks
+                    .get(block)
+                    .is_some_and(|b| b.replicas.contains(&NodeId(i as u32)))
+                {
+                    return Err(DfsError::CorruptMetadata {
+                        reason: format!(
+                            "node{i} stores {block} but block does not list it as replica"
+                        ),
+                    });
+                }
+            }
+            if let Some(cap) = node.spec.capacity_blocks() {
+                if node.stored.len() > cap {
+                    return Err(DfsError::CorruptMetadata {
+                        reason: format!(
+                            "node{i} stores {} blocks above capacity {cap}",
+                            node.stored.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn entry(&self, node: NodeId) -> Result<&NodeEntry, DfsError> {
+        self.nodes
+            .get(node.0 as usize)
+            .ok_or(DfsError::UnknownNode(node))
+    }
+
+    fn entry_mut(&mut self, node: NodeId) -> Result<&mut NodeEntry, DfsError> {
+        self.nodes
+            .get_mut(node.0 as usize)
+            .ok_or(DfsError::UnknownNode(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::RandomPolicy;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reliable_cluster(n: usize) -> NameNode {
+        NameNode::new(vec![NodeSpec::default(); n])
+    }
+
+    fn create(
+        nn: &mut NameNode,
+        blocks: usize,
+        replication: usize,
+        threshold: Threshold,
+        seed: u64,
+    ) -> FileId {
+        let mut policy = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        nn.create_file("f", blocks, replication, &mut policy, threshold, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn threshold_cap_matches_paper_formula() {
+        // m = 2560 blocks, k = 1 replica, n = 128 nodes: 2560*2/128 = 40.
+        assert_eq!(Threshold::PaperDefault.cap(2_560, 1, 128), Some(40));
+        // Rounds up: m = 10, k = 1, n = 3 -> ceil(20/3) = 7.
+        assert_eq!(Threshold::PaperDefault.cap(10, 1, 3), Some(7));
+        // Floors at 1.
+        assert_eq!(Threshold::PaperDefault.cap(1, 0, 100), Some(1));
+        assert_eq!(Threshold::None.cap(10, 1, 3), None);
+        assert_eq!(Threshold::Blocks(5).cap(10, 1, 3), Some(5));
+    }
+
+    #[test]
+    fn create_file_places_all_blocks_and_replicas() {
+        let mut nn = reliable_cluster(8);
+        let file = create(&mut nn, 40, 2, Threshold::PaperDefault, 1);
+        let meta = nn.file(file).unwrap();
+        assert_eq!(meta.blocks().len(), 40);
+        assert_eq!(meta.replication(), 2);
+        assert_eq!(nn.total_stored(), 80);
+        for block in meta.blocks() {
+            assert_eq!(nn.replicas(*block).unwrap().len(), 2);
+        }
+        nn.validate().unwrap();
+    }
+
+    #[test]
+    fn replicas_are_on_distinct_nodes() {
+        let mut nn = reliable_cluster(4);
+        let file = create(&mut nn, 30, 3, Threshold::None, 2);
+        for block in nn.file(file).unwrap().blocks().to_vec() {
+            let reps = nn.replicas(block).unwrap();
+            let mut set: Vec<NodeId> = reps.to_vec();
+            set.sort();
+            set.dedup();
+            assert_eq!(set.len(), reps.len());
+        }
+    }
+
+    #[test]
+    fn create_rejects_degenerate_arguments() {
+        let mut nn = reliable_cluster(4);
+        let mut p = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(nn
+            .create_file("f", 0, 1, &mut p, Threshold::None, &mut rng)
+            .is_err());
+        assert!(nn
+            .create_file("f", 1, 0, &mut p, Threshold::None, &mut rng)
+            .is_err());
+        assert!(nn
+            .create_file("f", 1, 5, &mut p, Threshold::None, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn threshold_bounds_per_node_blocks() {
+        let mut nn = reliable_cluster(16);
+        // m = 160, k = 1, n = 16: cap = 20.
+        let file = create(&mut nn, 160, 1, Threshold::PaperDefault, 3);
+        let dist = nn.file_distribution(file).unwrap();
+        for &c in &dist {
+            assert!(c <= 20, "distribution {dist:?} violates threshold");
+        }
+    }
+
+    #[test]
+    fn threshold_relaxes_rather_than_wedging() {
+        // Explicit cap 1 with m=8 blocks on 4 nodes: impossible under the
+        // cap (needs 8 slots, cap gives 4); ingestion must still succeed.
+        let mut nn = reliable_cluster(4);
+        let file = create(&mut nn, 8, 1, Threshold::Blocks(1), 4);
+        assert_eq!(nn.file(file).unwrap().blocks().len(), 8);
+        nn.validate().unwrap();
+    }
+
+    #[test]
+    fn capacity_limits_are_respected() {
+        let mut nn = NameNode::new(vec![NodeSpec::default().with_capacity(6); 4]);
+        let file = create(&mut nn, 10, 2, Threshold::None, 5);
+        let dist = nn.file_distribution(file).unwrap();
+        for &c in &dist {
+            assert!(c <= 6, "distribution {dist:?} exceeds capacity");
+        }
+        nn.validate().unwrap();
+        // A second file cannot fit: 24 slots total, 20 taken, 6 needed.
+        let mut p = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = nn
+            .create_file("g", 3, 2, &mut p, Threshold::None, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, DfsError::InsufficientNodes { .. }));
+        // The failed creation rolled back: storage unchanged, metadata valid.
+        assert_eq!(nn.total_stored(), 20);
+        nn.validate().unwrap();
+        let _ = file;
+    }
+
+    #[test]
+    fn dead_nodes_receive_no_replicas() {
+        let mut nn = reliable_cluster(6);
+        nn.mark_down(NodeId(0)).unwrap();
+        nn.mark_down(NodeId(1)).unwrap();
+        let file = create(&mut nn, 20, 2, Threshold::None, 7);
+        let dist = nn.file_distribution(file).unwrap();
+        assert_eq!(dist[0], 0);
+        assert_eq!(dist[1], 0);
+        assert!(nn.alive_count() == 4);
+    }
+
+    #[test]
+    fn mark_up_restores_eligibility() {
+        let mut nn = reliable_cluster(2);
+        nn.mark_down(NodeId(0)).unwrap();
+        nn.mark_up(NodeId(0)).unwrap();
+        assert!(nn.is_alive(NodeId(0)).unwrap());
+        let file = create(&mut nn, 10, 2, Threshold::None, 8);
+        let dist = nn.file_distribution(file).unwrap();
+        assert_eq!(dist[0], 10); // both nodes needed for 2 replicas
+    }
+
+    #[test]
+    fn delete_file_releases_storage() {
+        let mut nn = reliable_cluster(4);
+        let file = create(&mut nn, 12, 2, Threshold::None, 9);
+        assert_eq!(nn.total_stored(), 24);
+        nn.delete_file(file).unwrap();
+        assert_eq!(nn.total_stored(), 0);
+        assert!(nn.file(file).is_none());
+        nn.validate().unwrap();
+        assert!(nn.delete_file(file).is_err());
+    }
+
+    #[test]
+    fn move_replica_keeps_consistency() {
+        let mut nn = reliable_cluster(4);
+        let file = create(&mut nn, 1, 1, Threshold::None, 10);
+        let block = nn.file(file).unwrap().blocks()[0];
+        let from = nn.replicas(block).unwrap()[0];
+        let to = NodeId((from.0 + 1) % 4);
+        nn.move_replica(block, from, to).unwrap();
+        assert_eq!(nn.replicas(block).unwrap(), &[to]);
+        nn.validate().unwrap();
+        // Moving from a node that no longer holds it fails.
+        assert!(nn.move_replica(block, from, to).is_err());
+        // Moving onto a node that already holds it fails.
+        assert!(nn.move_replica(block, to, to).is_err());
+    }
+
+    #[test]
+    fn set_availability_updates_view() {
+        let mut nn = reliable_cluster(2);
+        let avail = NodeAvailability::from_mtbi(10.0, 4.0).unwrap();
+        nn.set_availability(NodeId(1), avail).unwrap();
+        assert_eq!(nn.availability(NodeId(1)).unwrap(), avail);
+        let view = nn.cluster_view();
+        assert_eq!(view.node(NodeId(1)).unwrap().availability, avail);
+        assert!(nn.set_availability(NodeId(9), avail).is_err());
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let nn = reliable_cluster(1);
+        assert!(nn.replicas(BlockId(99)).is_err());
+        assert!(nn.node_block_count(NodeId(9)).is_err());
+        assert!(nn.file_distribution(FileId(9)).is_err());
+    }
+
+    #[test]
+    fn random_placement_is_roughly_balanced() {
+        // The paper: random dispatch gives "balanced data distribution".
+        let mut nn = reliable_cluster(16);
+        let file = create(&mut nn, 16 * 100, 1, Threshold::None, 11);
+        let dist = nn.file_distribution(file).unwrap();
+        let mean = 100.0;
+        for &c in &dist {
+            assert!(
+                (c as f64 - mean).abs() < 40.0,
+                "distribution {dist:?} too skewed for random placement"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn metadata_invariants_hold_after_arbitrary_sessions(
+            n in 2usize..12,
+            files in prop::collection::vec((1usize..30, 1usize..3), 1..5),
+            seed in 0u64..1000,
+        ) {
+            let mut nn = reliable_cluster(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = RandomPolicy::new();
+            let mut created = Vec::new();
+            for (blocks, reps) in files {
+                let reps = reps.min(n);
+                let f = nn.create_file("f", blocks, reps, &mut p, Threshold::PaperDefault, &mut rng).unwrap();
+                created.push(f);
+            }
+            nn.validate().unwrap();
+            // Delete every other file and re-validate.
+            for (i, f) in created.iter().enumerate() {
+                if i % 2 == 0 {
+                    nn.delete_file(*f).unwrap();
+                }
+            }
+            nn.validate().unwrap();
+        }
+    }
+}

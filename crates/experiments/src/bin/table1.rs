@@ -1,0 +1,33 @@
+//! Regenerates Table 1: SETI@home-like population statistics
+//! (measured vs paper).
+//!
+//! Usage: `table1 [--paper] [--nodes N] [--seed N]`
+//! `--paper` uses the archive's full 226 208-host population size;
+//! the default uses 20 000 hosts (statistically equivalent, much faster).
+
+use adapt_experiments::cli::Options;
+use adapt_experiments::table1::{render_comparison, run_table1};
+
+fn main() {
+    let opts = match Options::from_env() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let hosts = opts
+        .nodes
+        .unwrap_or(if opts.paper { 226_208 } else { 20_000 });
+    let seed = opts.seed.unwrap_or(2012);
+
+    println!("== Table 1: summary of SETI@home-like failure data ==");
+    println!("   ({hosts} synthetic hosts, seed {seed})\n");
+    match run_table1(hosts, seed) {
+        Ok(summary) => print!("{}", render_comparison(&summary)),
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal argument parsing shared by the experiment binaries.
+//!
+//! Flags: `--paper` (full paper scale), `--runs N`, `--nodes N`,
+//! `--seed N`, `--csv`, plus a free-form positional (the sub-figure
+//! selector `a`/`b`/`c` where applicable).
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Options {
+    /// Run at the paper's full scale instead of the quick default.
+    pub paper: bool,
+    /// Override the number of runs per scenario.
+    pub runs: Option<usize>,
+    /// Override the cluster size.
+    pub nodes: Option<usize>,
+    /// Override the base seed.
+    pub seed: Option<u64>,
+    /// Emit CSV instead of a text table.
+    pub csv: bool,
+    /// Positional arguments (e.g. the sub-figure selector).
+    pub positional: Vec<String>,
+}
+
+impl Options {
+    /// Parses options from an argument iterator (excluding `argv[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper" => opts.paper = true,
+                "--csv" => opts.csv = true,
+                "--runs" => opts.runs = Some(parse_value(&arg, args.next())?),
+                "--nodes" => opts.nodes = Some(parse_value(&arg, args.next())?),
+                "--seed" => opts.seed = Some(parse_value(&arg, args.next())?),
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]"
+                            .to_string(),
+                    )
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag `{other}` (try --help)"));
+                }
+                other => opts.positional.push(other.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// See [`Options::parse`].
+    pub fn from_env() -> Result<Options, String> {
+        Options::parse(std::env::args().skip(1))
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    let value = value.ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("flag `{flag}`: cannot parse `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let o = parse(&["a", "--paper", "--runs", "3", "--seed", "7", "--csv"]).unwrap();
+        assert!(o.paper);
+        assert!(o.csv);
+        assert_eq!(o.runs, Some(3));
+        assert_eq!(o.seed, Some(7));
+        assert_eq!(o.positional, vec!["a"]);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--runs"]).is_err());
+        assert!(parse(&["--runs", "x"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_are_defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+}

@@ -1,0 +1,97 @@
+use std::error::Error;
+use std::fmt;
+
+use adapt_availability::AvailabilityError;
+use adapt_dfs::DfsError;
+use adapt_sim::SimError;
+use adapt_traces::TraceError;
+
+/// Errors surfaced by experiment harnesses (unions of the substrate
+/// errors).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// Distributed-filesystem layer failure.
+    Dfs(DfsError),
+    /// Simulator failure.
+    Sim(SimError),
+    /// Trace generation/parsing failure.
+    Trace(TraceError),
+    /// Availability-model failure.
+    Availability(AvailabilityError),
+    /// An experiment parameter was out of domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Dfs(e) => write!(f, "dfs: {e}"),
+            ExperimentError::Sim(e) => write!(f, "sim: {e}"),
+            ExperimentError::Trace(e) => write!(f, "trace: {e}"),
+            ExperimentError::Availability(e) => write!(f, "availability: {e}"),
+            ExperimentError::InvalidConfig { name, reason } => {
+                write!(f, "invalid experiment config `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Dfs(e) => Some(e),
+            ExperimentError::Sim(e) => Some(e),
+            ExperimentError::Trace(e) => Some(e),
+            ExperimentError::Availability(e) => Some(e),
+            ExperimentError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<DfsError> for ExperimentError {
+    fn from(e: DfsError) -> Self {
+        ExperimentError::Dfs(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
+
+impl From<TraceError> for ExperimentError {
+    fn from(e: TraceError) -> Self {
+        ExperimentError::Trace(e)
+    }
+}
+
+impl From<AvailabilityError> for ExperimentError {
+    fn from(e: AvailabilityError) -> Self {
+        ExperimentError::Availability(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display_work() {
+        let e: ExperimentError = DfsError::UnknownNode(adapt_dfs::NodeId(1)).into();
+        assert!(e.to_string().contains("dfs"));
+        assert!(e.source().is_some());
+        let e = ExperimentError::InvalidConfig {
+            name: "runs",
+            reason: "must be > 0".into(),
+        };
+        assert!(e.to_string().contains("runs"));
+        assert!(e.source().is_none());
+    }
+}

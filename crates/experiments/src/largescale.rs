@@ -1,0 +1,445 @@
+//! The large-scale trace-driven simulation harness — Figure 5.
+//!
+//! Reproduces the paper's Section V-C methodology: a synthetic SETI@home-
+//! like host population (the real Failure Trace Archive data is not
+//! redistributable; see `DESIGN.md`), per-host `(λ, μ)` estimated from
+//! each host's own trace (the heartbeat-collector path), placement
+//! through the NameNode under the policy being evaluated, and a map-phase
+//! simulation whose interruptions replay each host's trace from a
+//! run-specific random offset. The harness reports the overhead
+//! decomposition (rework / recovery / migration / misc) relative to the
+//! aggregated failure-free execution time, exactly the stacks of
+//! Figure 5.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use adapt_dfs::cluster::{NodeAvailability, NodeSpec};
+use adapt_dfs::namenode::{NameNode, Threshold};
+use adapt_sim::engine::{MapPhaseSim, SimConfig};
+use adapt_sim::interrupt::InterruptionProcess;
+use adapt_sim::runner::{aggregate, placement_from_namenode, AggregateReport};
+use adapt_traces::record::{HostTrace, Trace};
+use adapt_traces::replay::InterruptionSchedule;
+use adapt_traces::synthetic::SyntheticPopulation;
+
+use crate::config::LargeScaleConfig;
+use crate::parallel::map_parallel;
+use crate::policies::PolicyKind;
+use crate::ExperimentError;
+
+/// A generated host population with per-host availability estimates,
+/// shared across runs and policies of one configuration (the paper uses
+/// one trace selection per scenario).
+#[derive(Debug, Clone)]
+pub struct World {
+    hosts: Vec<HostTrace>,
+    availability: Vec<NodeAvailability>,
+}
+
+impl World {
+    /// Generates the population for a configuration. Deterministic in
+    /// `config.seed`.
+    ///
+    /// The trace window is scaled to a few hundred expected events per
+    /// host — long enough for stable per-host estimates and stationary
+    /// random-offset replay, short enough to generate quickly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Trace`] for invalid trace-calibration
+    /// targets.
+    pub fn generate(config: &LargeScaleConfig) -> Result<Self, ExperimentError> {
+        let window = config.mtbi_mean * 200.0;
+        let population = SyntheticPopulation::calibrated(
+            config.mtbi_mean,
+            config.mtbi_cov,
+            config.duration_mean,
+            config.duration_cov,
+        )?
+        .hosts(config.nodes)
+        .observation_window(window);
+        let trace = population.generate(config.seed)?;
+        let availability = trace.iter().map(estimate_availability).collect();
+        Ok(World {
+            hosts: trace.into_iter().collect(),
+            availability,
+        })
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Per-host availability estimates (the placement policies' input).
+    pub fn availability(&self) -> &[NodeAvailability] {
+        &self.availability
+    }
+
+    /// The underlying traces.
+    pub fn traces(&self) -> &[HostTrace] {
+        &self.hosts
+    }
+
+    /// The whole population as a [`Trace`] (for statistics).
+    pub fn as_trace(&self) -> Trace {
+        Trace::new(self.hosts.clone())
+    }
+}
+
+/// Estimates `(λ, μ)` from one host's trace, as the NameNode's heartbeat
+/// collector would: the mean inter-arrival of observed interruptions and
+/// their mean duration. Hosts with too few events to estimate a rate are
+/// treated as reliable (their weight errs toward the stock behaviour).
+pub fn estimate_availability(host: &HostTrace) -> NodeAvailability {
+    match (host.mtbi(), host.mean_duration()) {
+        (Some(mtbi), Some(mu)) if mtbi > 0.0 => NodeAvailability {
+            lambda: 1.0 / mtbi,
+            mu: mu.max(0.0),
+        },
+        _ => NodeAvailability::reliable(),
+    }
+}
+
+/// Runs one large-scale scenario: `runs` seeds in parallel over a shared
+/// world, aggregated.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] for invalid configuration or substrate
+/// failures.
+pub fn run_largescale(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+) -> Result<AggregateReport, ExperimentError> {
+    let world = World::generate(config)?;
+    run_largescale_in(config, policy, &world)
+}
+
+/// Like [`run_largescale`] but reusing an existing [`World`] (sweeps
+/// that vary bandwidth or block size share one population).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] for invalid configuration or substrate
+/// failures.
+pub fn run_largescale_in(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    world: &World,
+) -> Result<AggregateReport, ExperimentError> {
+    run_largescale_tweaked(config, policy, world, &|cfg| cfg)
+}
+
+/// Like [`run_largescale_in`] with a simulator-config tweak applied to
+/// every run (scheduling mode, speculation, stream caps, …) — the
+/// ablation suite's entry point.
+///
+/// # Errors
+///
+/// Same as [`run_largescale_in`].
+pub fn run_largescale_tweaked(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    world: &World,
+    tweak: &(dyn Fn(SimConfig) -> SimConfig + Sync),
+) -> Result<AggregateReport, ExperimentError> {
+    if config.runs == 0 {
+        return Err(ExperimentError::InvalidConfig {
+            name: "runs",
+            reason: "at least one run required".into(),
+        });
+    }
+    if world.len() != config.nodes {
+        return Err(ExperimentError::InvalidConfig {
+            name: "nodes",
+            reason: format!(
+                "world has {} hosts but config expects {}",
+                world.len(),
+                config.nodes
+            ),
+        });
+    }
+    let seeds: Vec<u64> = (0..config.runs)
+        .map(|i| config.seed ^ 0x5EED_0000 ^ (i as u64) << 32)
+        .collect();
+    let reports = map_parallel(&seeds, |&seed| run_once(config, policy, world, tweak, seed));
+    let mut ok = Vec::with_capacity(reports.len());
+    for r in reports {
+        ok.push(r?);
+    }
+    Ok(aggregate(ok))
+}
+
+fn run_once(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    world: &World,
+    tweak: &(dyn Fn(SimConfig) -> SimConfig + Sync),
+    seed: u64,
+) -> Result<adapt_sim::SimReport, ExperimentError> {
+    // Placement and trace-rotation randomness use independent streams so
+    // that every policy faces the *same* failure realization for a given
+    // seed (paired comparison on one trace, as in the paper).
+    let mut place_rng = StdRng::seed_from_u64(seed ^ 0x70AC_E5EED);
+    let mut rotate_rng = StdRng::seed_from_u64(seed ^ 0x0FF5_E715);
+    let gamma = config.gamma();
+
+    // Each run replays every host's trace from a fresh random offset.
+    // Schedules are fixed *before* placement so hosts that are down at
+    // ingest time can be excluded: a real NameNode never places blocks on
+    // DataNodes that are not heartbeating.
+    let schedules: Vec<InterruptionSchedule> = world
+        .traces()
+        .iter()
+        .map(|host| InterruptionSchedule::rotated_random(host, &mut rotate_rng))
+        .collect();
+
+    let specs: Vec<NodeSpec> = world
+        .availability()
+        .iter()
+        .map(|&a| NodeSpec::new(a))
+        .collect();
+    let mut namenode = NameNode::new(specs);
+    for (i, schedule) in schedules.iter().enumerate() {
+        if schedule.is_down_at(0.0) {
+            namenode.mark_down(adapt_dfs::NodeId(i as u32))?;
+        }
+    }
+    let mut placement_policy = policy.build(gamma);
+    let file = namenode.create_file(
+        "large-input",
+        config.total_blocks(),
+        config.replication,
+        placement_policy.as_mut(),
+        Threshold::PaperDefault,
+        &mut place_rng,
+    )?;
+    let placement = placement_from_namenode(&namenode, file)?;
+
+    let processes: Vec<InterruptionProcess> = schedules
+        .into_iter()
+        .map(InterruptionProcess::trace)
+        .collect();
+
+    let cfg =
+        tweak(SimConfig::new(config.bandwidth_mbps, config.block_size, gamma)?.with_horizon(1e7));
+    Ok(MapPhaseSim::new(processes, placement, cfg)?.run(seed)?)
+}
+
+/// The policy/replication series of Figure 5.
+pub const FIGURE5_SERIES: [(PolicyKind, usize); 6] = [
+    (PolicyKind::Random, 1),
+    (PolicyKind::Random, 2),
+    (PolicyKind::Random, 3),
+    (PolicyKind::Naive, 1),
+    (PolicyKind::Adapt, 1),
+    (PolicyKind::Adapt, 2),
+];
+
+/// One Figure 5 measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// Placement policy of this series.
+    pub policy: PolicyKind,
+    /// Replication factor of this series.
+    pub replication: usize,
+    /// Aggregated results.
+    pub agg: AggregateReport,
+}
+
+impl OverheadPoint {
+    /// Series label, e.g. `"ADAPT-2rep"`.
+    pub fn series(&self) -> String {
+        format!("{}-{}rep", self.policy.label(), self.replication)
+    }
+}
+
+/// Figure 5(a): sweep network bandwidth.
+///
+/// # Errors
+///
+/// Propagates the first scenario failure.
+pub fn sweep_bandwidth(
+    base: &LargeScaleConfig,
+    bandwidths: &[f64],
+    series: &[(PolicyKind, usize)],
+) -> Result<Vec<OverheadPoint>, ExperimentError> {
+    let world = World::generate(base)?;
+    let mut out = Vec::new();
+    for &bw in bandwidths {
+        for &(policy, replication) in series {
+            let config = LargeScaleConfig {
+                bandwidth_mbps: bw,
+                replication,
+                ..*base
+            };
+            out.push(OverheadPoint {
+                x: bw,
+                policy,
+                replication,
+                agg: run_largescale_in(&config, policy, &world)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 5(b): sweep the block size (MB). Task time scales with block
+/// size (12 s per 64 MB); the *number* of tasks stays fixed, matching the
+/// paper's per-scenario workload description.
+///
+/// # Errors
+///
+/// Propagates the first scenario failure.
+pub fn sweep_block_size(
+    base: &LargeScaleConfig,
+    block_sizes_mb: &[u64],
+    series: &[(PolicyKind, usize)],
+) -> Result<Vec<OverheadPoint>, ExperimentError> {
+    let world = World::generate(base)?;
+    let mut out = Vec::new();
+    for &mb in block_sizes_mb {
+        for &(policy, replication) in series {
+            let config = LargeScaleConfig {
+                block_size: adapt_dfs::BlockSize::from_mb(mb),
+                replication,
+                ..*base
+            };
+            out.push(OverheadPoint {
+                x: mb as f64,
+                policy,
+                replication,
+                agg: run_largescale_in(&config, policy, &world)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 5(c): sweep the cluster size. Each size generates its own
+/// world (the population must match the node count).
+///
+/// # Errors
+///
+/// Propagates the first scenario failure.
+pub fn sweep_nodes(
+    base: &LargeScaleConfig,
+    node_counts: &[usize],
+    series: &[(PolicyKind, usize)],
+) -> Result<Vec<OverheadPoint>, ExperimentError> {
+    let mut out = Vec::new();
+    for &nodes in node_counts {
+        let sized = LargeScaleConfig { nodes, ..*base };
+        let world = World::generate(&sized)?;
+        for &(policy, replication) in series {
+            let config = LargeScaleConfig {
+                replication,
+                ..sized
+            };
+            out.push(OverheadPoint {
+                x: nodes as f64,
+                policy,
+                replication,
+                agg: run_largescale_in(&config, policy, &world)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LargeScaleConfig {
+        LargeScaleConfig {
+            nodes: 64,
+            tasks_per_node: 10,
+            runs: 2,
+            ..LargeScaleConfig::default()
+        }
+    }
+
+    #[test]
+    fn world_generation_is_deterministic() {
+        let a = World::generate(&small()).unwrap();
+        let b = World::generate(&small()).unwrap();
+        assert_eq!(a.availability(), b.availability());
+        assert_eq!(a.len(), 64);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn estimates_follow_trace_contents() {
+        use adapt_traces::record::{HostId, Interruption};
+        let quiet = HostTrace::new(HostId(0), 1e6, vec![]).unwrap();
+        assert!(estimate_availability(&quiet).is_reliable());
+
+        let busy = HostTrace::new(
+            HostId(1),
+            1e6,
+            vec![
+                Interruption {
+                    start: 100.0,
+                    duration: 50.0,
+                },
+                Interruption {
+                    start: 1_100.0,
+                    duration: 150.0,
+                },
+            ],
+        )
+        .unwrap();
+        let a = estimate_availability(&busy);
+        assert!((a.lambda - 1.0 / 1_000.0).abs() < 1e-12);
+        assert!((a.mu - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn largescale_run_completes() {
+        let agg = run_largescale(&small(), PolicyKind::Adapt).unwrap();
+        assert_eq!(agg.runs, 2);
+        assert!(agg.all_completed);
+        assert!(agg.total_overhead_ratio.mean() >= 0.0);
+    }
+
+    #[test]
+    fn world_size_mismatch_is_rejected() {
+        let world = World::generate(&small()).unwrap();
+        let bigger = LargeScaleConfig {
+            nodes: 128,
+            ..small()
+        };
+        assert!(run_largescale_in(&bigger, PolicyKind::Random, &world).is_err());
+    }
+
+    #[test]
+    fn adapt_reduces_migration_relative_to_random() {
+        // Figure 5's headline: "ADAPT constantly saves the migration cost
+        // by half or more for all the scenarios."
+        let config = LargeScaleConfig {
+            nodes: 128,
+            tasks_per_node: 20,
+            runs: 2,
+            ..LargeScaleConfig::default()
+        };
+        let world = World::generate(&config).unwrap();
+        let adapt = run_largescale_in(&config, PolicyKind::Adapt, &world).unwrap();
+        let random = run_largescale_in(&config, PolicyKind::Random, &world).unwrap();
+        assert!(
+            adapt.migration_ratio.mean() <= random.migration_ratio.mean(),
+            "ADAPT migration {} vs existing {}",
+            adapt.migration_ratio.mean(),
+            random.migration_ratio.mean()
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! A small crossbeam-based parallel sweep runner.
+//!
+//! Experiment sweeps are embarrassingly parallel (one simulation per
+//! scenario × seed); this runs a worklist across scoped threads and
+//! returns results in input order.
+
+use crossbeam::channel;
+
+/// Applies `f` to every item on up to `available_parallelism` worker
+/// threads, preserving input order in the output.
+///
+/// # Examples
+///
+/// ```
+/// use adapt_experiments::parallel::map_parallel;
+///
+/// let squares = map_parallel(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn map_parallel<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<usize>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+    for i in 0..items.len() {
+        task_tx.send(i).expect("channel open");
+    }
+    drop(task_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok(i) = task_rx.recv() {
+                    let r = f(&items[i]);
+                    if result_tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(result_tx);
+
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in result_rx {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every task produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<usize> = (0..100).collect();
+        let output = map_parallel(&input, |&x| x * 2);
+        assert_eq!(output, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let out: Vec<i32> = map_parallel(&[], |x: &i32| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn handles_single_item() {
+        assert_eq!(map_parallel(&[7], |&x: &i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_match_sequential_for_stateful_work() {
+        let input: Vec<u64> = (0..32).collect();
+        let f = |&x: &u64| {
+            // Some nontrivial deterministic work.
+            (0..x).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        assert_eq!(
+            map_parallel(&input, f),
+            input.iter().map(f).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Table 1: summary statistics of the (synthetic) SETI@home population.
+
+use adapt_traces::stats::{summarize, TraceSummary};
+use adapt_traces::synthetic::{
+    SyntheticPopulation, SETI_DURATION_COV, SETI_DURATION_MEAN, SETI_MTBI_COV, SETI_MTBI_MEAN,
+};
+
+use crate::ExperimentError;
+
+/// The values the paper reports in Table 1, for side-by-side rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTable1 {
+    /// MTBI mean (seconds).
+    pub mtbi_mean: f64,
+    /// MTBI standard deviation (seconds).
+    pub mtbi_std: f64,
+    /// MTBI coefficient of variation.
+    pub mtbi_cov: f64,
+    /// Interruption-duration mean (seconds).
+    pub duration_mean: f64,
+    /// Interruption-duration standard deviation (seconds).
+    pub duration_std: f64,
+    /// Interruption-duration coefficient of variation.
+    pub duration_cov: f64,
+}
+
+/// Table 1 as printed in the paper.
+pub const PAPER_TABLE1: PaperTable1 = PaperTable1 {
+    mtbi_mean: 160_290.0,
+    mtbi_std: 701_419.0,
+    mtbi_cov: 4.376,
+    duration_mean: 109_380.0,
+    duration_std: 807_983.0,
+    duration_cov: 7.3869,
+};
+
+/// Generates a SETI@home-like population of `hosts` hosts and summarizes
+/// it (the reproduction of Table 1).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Trace`] on generation failure.
+pub fn run_table1(hosts: usize, seed: u64) -> Result<TraceSummary, ExperimentError> {
+    let trace = SyntheticPopulation::seti_like()?
+        .hosts(hosts)
+        .generate(seed)?;
+    Ok(summarize(&trace))
+}
+
+/// Renders measured-vs-paper Table 1 rows.
+pub fn render_comparison(measured: &TraceSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>12} {:>12} {:>9}\n",
+        "", "Mean", "Std Dev", "CoV"
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>12.0} {:>12.0} {:>9.4}\n",
+        "MTBI (s) — measured",
+        measured.mtbi.mean(),
+        measured.mtbi.std_dev(),
+        measured.mtbi.cov()
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>12.0} {:>12.0} {:>9.4}\n",
+        "MTBI (s) — paper", PAPER_TABLE1.mtbi_mean, PAPER_TABLE1.mtbi_std, PAPER_TABLE1.mtbi_cov
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>12.0} {:>12.0} {:>9.4}\n",
+        "Interruption duration (s) — measured",
+        measured.duration.mean(),
+        measured.duration.std_dev(),
+        measured.duration.cov()
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>12.0} {:>12.0} {:>9.4}\n",
+        "Interruption duration (s) — paper",
+        PAPER_TABLE1.duration_mean,
+        PAPER_TABLE1.duration_std,
+        PAPER_TABLE1.duration_cov
+    ));
+    out.push_str(&format!(
+        "({} hosts, {} events; calibration targets: MTBI {:.0}/{:.3}, duration {:.0}/{:.3})\n",
+        measured.hosts,
+        measured.events,
+        SETI_MTBI_MEAN,
+        SETI_MTBI_COV,
+        SETI_DURATION_MEAN,
+        SETI_DURATION_COV
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_generates_and_summarizes() {
+        let s = run_table1(300, 1).unwrap();
+        assert_eq!(s.hosts, 300);
+        assert!(s.events > 0);
+        assert!(s.mtbi.mean() > 0.0);
+    }
+
+    #[test]
+    fn comparison_rendering_contains_both_rows() {
+        let s = run_table1(100, 2).unwrap();
+        let text = render_comparison(&s);
+        assert!(text.contains("measured"));
+        assert!(text.contains("paper"));
+        assert!(text.contains("160290") || text.contains("160,290") || text.contains("160290.0"));
+    }
+
+    #[test]
+    fn paper_constants_are_internally_consistent() {
+        // CoV = std/mean, as printed in the paper (within rounding).
+        let cov = PAPER_TABLE1.mtbi_std / PAPER_TABLE1.mtbi_mean;
+        assert!((cov - PAPER_TABLE1.mtbi_cov).abs() < 0.01);
+        let cov = PAPER_TABLE1.duration_std / PAPER_TABLE1.duration_mean;
+        assert!((cov - PAPER_TABLE1.duration_cov).abs() < 0.01);
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was out of domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// The placement references a node outside the cluster.
+    PlacementOutOfRange {
+        /// Task index with the bad replica.
+        task: usize,
+        /// The out-of-range node index.
+        node: u32,
+        /// Cluster size.
+        nodes: usize,
+    },
+    /// The simulation exceeded its time horizon without completing.
+    HorizonExceeded {
+        /// The configured horizon.
+        horizon: f64,
+        /// Tasks still unfinished.
+        unfinished: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { name, reason } => {
+                write!(f, "invalid simulation config `{name}`: {reason}")
+            }
+            SimError::PlacementOutOfRange { task, node, nodes } => write!(
+                f,
+                "task {task} placed on node {node} but cluster has {nodes} nodes"
+            ),
+            SimError::HorizonExceeded {
+                horizon,
+                unfinished,
+            } => write!(
+                f,
+                "simulation horizon {horizon} exceeded with {unfinished} tasks unfinished"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::PlacementOutOfRange {
+            task: 3,
+            node: 9,
+            nodes: 4,
+        };
+        assert!(e.to_string().contains("task 3"));
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

@@ -1,0 +1,307 @@
+//! A first-order shuffle/reduce-phase model — the paper's future work.
+//!
+//! ADAPT "deals with the input data distribution and directly optimizes
+//! the performance of the map phase … we leave the reduce phase
+//! optimization for future work" (Section IV-C). This module implements
+//! the natural first step of that future work: given where each map
+//! task's output landed (the winners of [`run_detailed`]), estimate the
+//! shuffle and reduce cost under the same per-flow bandwidth model, and
+//! expose the placement lever the paper anticipates — reducers placed on
+//! the most reliable hosts.
+//!
+//! The model is deliberately first-order (no interruptions during the
+//! shuffle): every map output of `output_size` bytes is partitioned
+//! evenly across `r` reducers; reducer `j` must download `total/r` bytes,
+//! and map-output host `i` must upload everything it produced. With
+//! per-flow shaping the phase cannot finish before either the most-loaded
+//! uplink or the most-loaded downlink drains, plus the reduce compute:
+//!
+//! ```text
+//! elapsed ≥ max( max_i upload_i / bw,  max_j download_j / bw ) + reduce_gamma
+//! ```
+//!
+//! Local map output (a reducer co-located with the map output's host)
+//! skips the network, which is what reducer placement can optimize.
+//!
+//! [`run_detailed`]: crate::engine::MapPhaseSim::run_detailed
+
+use serde::{Deserialize, Serialize};
+
+use adapt_dfs::{BlockSize, NodeId};
+
+use crate::SimError;
+
+/// Shuffle/reduce-phase parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleConfig {
+    /// Number of reduce tasks.
+    pub reducers: usize,
+    /// Intermediate output produced per map task.
+    pub output_size: BlockSize,
+    /// Per-node link bandwidth in Mb/s (same model as the map phase).
+    pub bandwidth_mbps: f64,
+    /// Failure-free compute time of one reduce task, seconds.
+    pub reduce_gamma: f64,
+}
+
+impl ShuffleConfig {
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a zero reducer count or
+    /// non-positive bandwidth/γ.
+    pub fn new(
+        reducers: usize,
+        output_size: BlockSize,
+        bandwidth_mbps: f64,
+        reduce_gamma: f64,
+    ) -> Result<Self, SimError> {
+        if reducers == 0 {
+            return Err(SimError::InvalidConfig {
+                name: "reducers",
+                reason: "at least one reducer required".into(),
+            });
+        }
+        if !(bandwidth_mbps.is_finite() && bandwidth_mbps > 0.0) {
+            return Err(SimError::InvalidConfig {
+                name: "bandwidth_mbps",
+                reason: format!("{bandwidth_mbps} must be finite and > 0"),
+            });
+        }
+        if !(reduce_gamma.is_finite() && reduce_gamma > 0.0) {
+            return Err(SimError::InvalidConfig {
+                name: "reduce_gamma",
+                reason: format!("{reduce_gamma} must be finite and > 0"),
+            });
+        }
+        Ok(ShuffleConfig {
+            reducers,
+            output_size,
+            bandwidth_mbps,
+            reduce_gamma,
+        })
+    }
+}
+
+/// Estimated shuffle/reduce-phase outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleReport {
+    /// Lower-bound elapsed time of shuffle plus reduce (seconds).
+    pub elapsed: f64,
+    /// Megabytes that crossed the network.
+    pub network_mb: f64,
+    /// Megabytes served locally (reducer co-located with the output).
+    pub local_mb: f64,
+    /// The binding uplink's total upload (MB).
+    pub max_upload_mb: f64,
+    /// The binding downlink's total download (MB).
+    pub max_download_mb: f64,
+    /// Reducer placement used, one node per reducer.
+    pub reducer_nodes: Vec<NodeId>,
+}
+
+impl ShuffleReport {
+    /// Fraction of shuffle bytes that stayed local, in `[0, 1]`.
+    pub fn shuffle_locality(&self) -> f64 {
+        let total = self.network_mb + self.local_mb;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.local_mb / total
+        }
+    }
+}
+
+/// Estimates the shuffle/reduce phase for map outputs located at
+/// `winners` (one entry per map task; `None` entries — tasks unfinished
+/// at the map horizon — are skipped) on a cluster of `nodes` nodes, with
+/// reducers placed on `reducer_nodes`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] if `reducer_nodes` length differs
+/// from `config.reducers`, is empty, or references a node `>= nodes`.
+pub fn estimate_shuffle(
+    winners: &[Option<NodeId>],
+    nodes: usize,
+    reducer_nodes: &[NodeId],
+    config: &ShuffleConfig,
+) -> Result<ShuffleReport, SimError> {
+    if reducer_nodes.len() != config.reducers {
+        return Err(SimError::InvalidConfig {
+            name: "reducer_nodes",
+            reason: format!(
+                "{} reducer nodes for {} reducers",
+                reducer_nodes.len(),
+                config.reducers
+            ),
+        });
+    }
+    if let Some(bad) = reducer_nodes.iter().find(|r| r.0 as usize >= nodes) {
+        return Err(SimError::InvalidConfig {
+            name: "reducer_nodes",
+            reason: format!("{bad} outside cluster of {nodes} nodes"),
+        });
+    }
+
+    let out_mb = config.output_size.as_mb();
+    let slice_mb = out_mb / config.reducers as f64;
+
+    // Volume bookkeeping: uploads keyed by map-output host, downloads by
+    // reducer slot.
+    let mut upload_mb = vec![0.0f64; nodes];
+    let mut download_mb = vec![0.0f64; config.reducers];
+    let mut network_mb = 0.0;
+    let mut local_mb = 0.0;
+
+    for winner in winners.iter().flatten() {
+        for (slot, &reducer) in reducer_nodes.iter().enumerate() {
+            if reducer == *winner {
+                local_mb += slice_mb;
+            } else {
+                upload_mb[winner.0 as usize] += slice_mb;
+                download_mb[slot] += slice_mb;
+                network_mb += slice_mb;
+            }
+        }
+    }
+
+    let max_upload_mb = upload_mb.iter().copied().fold(0.0, f64::max);
+    let max_download_mb = download_mb.iter().copied().fold(0.0, f64::max);
+    let binding_mb = max_upload_mb.max(max_download_mb);
+    let elapsed = binding_mb * 8.0 / config.bandwidth_mbps + config.reduce_gamma;
+
+    Ok(ShuffleReport {
+        elapsed,
+        network_mb,
+        local_mb,
+        max_upload_mb,
+        max_download_mb,
+        reducer_nodes: reducer_nodes.to_vec(),
+    })
+}
+
+/// Picks reducer hosts by ascending equation-(5) slowdown — the
+/// availability-aware reducer placement the paper's future work points
+/// at. `slowdown[i]` is node `i`'s `E[T]/γ` (1.0 for reliable hosts);
+/// ties break toward lower node ids for determinism.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] if fewer nodes exist than
+/// reducers.
+pub fn reliable_reducer_placement(
+    slowdown: &[f64],
+    reducers: usize,
+) -> Result<Vec<NodeId>, SimError> {
+    if reducers > slowdown.len() {
+        return Err(SimError::InvalidConfig {
+            name: "reducers",
+            reason: format!("{} reducers on {} nodes", reducers, slowdown.len()),
+        });
+    }
+    let mut order: Vec<usize> = (0..slowdown.len()).collect();
+    order.sort_by(|&a, &b| slowdown[a].total_cmp(&slowdown[b]).then(a.cmp(&b)));
+    Ok(order[..reducers]
+        .iter()
+        .map(|&i| NodeId(i as u32))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(reducers: usize, bw: f64) -> ShuffleConfig {
+        ShuffleConfig::new(reducers, BlockSize::from_mb(8), bw, 10.0).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ShuffleConfig::new(0, BlockSize::from_mb(8), 8.0, 10.0).is_err());
+        assert!(ShuffleConfig::new(2, BlockSize::from_mb(8), 0.0, 10.0).is_err());
+        assert!(ShuffleConfig::new(2, BlockSize::from_mb(8), 8.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn single_node_job_is_fully_local() {
+        // All outputs and the single reducer on node 0.
+        let winners = vec![Some(NodeId(0)); 4];
+        let report = estimate_shuffle(&winners, 1, &[NodeId(0)], &cfg(1, 8.0)).unwrap();
+        assert_eq!(report.network_mb, 0.0);
+        assert_eq!(report.local_mb, 32.0);
+        assert_eq!(report.shuffle_locality(), 1.0);
+        // No network: elapsed is pure reduce compute.
+        assert!((report.elapsed - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_node_shuffle_pays_the_binding_link() {
+        // 4 outputs on node 0, reducer on node 1: node 0 uploads all
+        // 4 × 8 MB; at 8 Mb/s that is 32 s, plus 10 s reduce.
+        let winners = vec![Some(NodeId(0)); 4];
+        let report = estimate_shuffle(&winners, 2, &[NodeId(1)], &cfg(1, 8.0)).unwrap();
+        assert_eq!(report.network_mb, 32.0);
+        assert_eq!(report.max_upload_mb, 32.0);
+        assert_eq!(report.max_download_mb, 32.0);
+        assert!((report.elapsed - 42.0).abs() < 1e-9);
+        assert_eq!(report.shuffle_locality(), 0.0);
+    }
+
+    #[test]
+    fn outputs_split_evenly_across_reducers() {
+        // One output on node 0; two reducers on nodes 0 and 1: half the
+        // output stays local, half crosses.
+        let winners = vec![Some(NodeId(0))];
+        let report = estimate_shuffle(&winners, 2, &[NodeId(0), NodeId(1)], &cfg(2, 8.0)).unwrap();
+        assert!((report.local_mb - 4.0).abs() < 1e-9);
+        assert!((report.network_mb - 4.0).abs() < 1e-9);
+        assert!((report.shuffle_locality() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfinished_tasks_are_skipped() {
+        let winners = vec![Some(NodeId(0)), None, Some(NodeId(1))];
+        let report = estimate_shuffle(&winners, 2, &[NodeId(0)], &cfg(1, 8.0)).unwrap();
+        // Only two outputs counted: one local (node 0), one remote.
+        assert!((report.local_mb - 8.0).abs() < 1e-9);
+        assert!((report.network_mb - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_reducer_sets() {
+        let winners = vec![Some(NodeId(0))];
+        assert!(estimate_shuffle(&winners, 2, &[], &cfg(1, 8.0)).is_err());
+        assert!(estimate_shuffle(&winners, 2, &[NodeId(5)], &cfg(1, 8.0)).is_err());
+        assert!(
+            estimate_shuffle(&winners, 2, &[NodeId(0), NodeId(1)], &cfg(1, 8.0)).is_err(),
+            "length mismatch"
+        );
+    }
+
+    #[test]
+    fn reliable_placement_picks_lowest_slowdown_hosts() {
+        let slowdown = [3.0, 1.0, 1.0, 2.0];
+        let picks = reliable_reducer_placement(&slowdown, 2).unwrap();
+        assert_eq!(picks, vec![NodeId(1), NodeId(2)]);
+        assert!(reliable_reducer_placement(&slowdown, 5).is_err());
+    }
+
+    #[test]
+    fn reliable_reducers_beat_volatile_reducers_on_locality() {
+        // Outputs concentrated on reliable nodes 0 and 1 (as ADAPT
+        // placement produces); reducers on those hosts keep data local.
+        let winners: Vec<Option<NodeId>> = (0..10).map(|i| Some(NodeId(i % 2))).collect();
+        let good = estimate_shuffle(
+            &winners,
+            4,
+            &reliable_reducer_placement(&[1.0, 1.0, 5.0, 5.0], 2).unwrap(),
+            &cfg(2, 8.0),
+        )
+        .unwrap();
+        let bad = estimate_shuffle(&winners, 4, &[NodeId(2), NodeId(3)], &cfg(2, 8.0)).unwrap();
+        assert!(good.shuffle_locality() > bad.shuffle_locality());
+        assert!(good.elapsed < bad.elapsed);
+    }
+}

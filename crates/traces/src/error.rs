@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing, or generating traces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An interruption record violated the trace invariants.
+    InvalidRecord {
+        /// Host the record belongs to.
+        host: u64,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A configuration value for the synthetic generator was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A line of FTA-format text could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidRecord { host, reason } => {
+                write!(f, "invalid record for host {host}: {reason}")
+            }
+            TraceError::InvalidConfig { name, reason } => {
+                write!(f, "invalid generator config `{name}`: {reason}")
+            }
+            TraceError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TraceError::InvalidRecord {
+            host: 7,
+            reason: "overlaps previous interruption".into(),
+        };
+        assert!(e.to_string().contains("host 7"));
+        let e = TraceError::Parse {
+            line: 3,
+            reason: "expected 3 fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TraceError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! One emulated-cluster scenario, end to end — a single cell of the
+//! paper's Figure 3/4 at reduced scale.
+//!
+//! Uses the `adapt-experiments` harness directly: Table 2 interruption
+//! groups, Table 3 defaults (scaled down), four policy/replication
+//! series, means over several runs.
+//!
+//! Run with: `cargo run --example emulated_cluster`
+
+use adapt::experiments::config::EmulatedConfig;
+use adapt::experiments::emulated::{availability_layout, run_emulated, FIGURE3_SERIES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = EmulatedConfig {
+        nodes: 32,
+        blocks_per_node: 10,
+        runs: 5,
+        ..EmulatedConfig::default()
+    };
+
+    println!(
+        "Emulated cluster: {} nodes ({} interrupted), {} blocks, {} Mb/s, {} runs",
+        config.nodes,
+        config.interrupted_nodes(),
+        config.total_blocks(),
+        config.bandwidth_mbps,
+        config.runs
+    );
+    let layout = availability_layout(&config);
+    let flaky = layout.iter().filter(|a| !a.is_reliable()).count();
+    println!("Layout check: {flaky} interrupted nodes (Table 2 groups)\n");
+
+    println!(
+        "{:<16} {:>4} {:>12} {:>10} {:>10} {:>10}",
+        "series", "k", "elapsed(s)", "locality", "rework(s)", "transfers"
+    );
+    for (policy, replication) in FIGURE3_SERIES {
+        let scenario = EmulatedConfig {
+            replication,
+            ..config
+        };
+        let agg = run_emulated(&scenario, policy)?;
+        println!(
+            "{:<16} {:>4} {:>12.1} {:>10.3} {:>10.1} {:>10.1}",
+            policy.label(),
+            replication,
+            agg.elapsed.mean(),
+            agg.locality.mean(),
+            agg.rework_ratio.mean() * scenario.total_blocks() as f64 * scenario.gamma,
+            agg.transfers.mean(),
+        );
+    }
+    println!(
+        "\nThe paper's Figure 3 headline at these settings: ADAPT with one\n\
+         replica cuts elapsed time by >30% versus the stock random placement\n\
+         and approaches random placement with two replicas."
+    );
+    Ok(())
+}

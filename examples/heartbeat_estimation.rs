@@ -1,0 +1,77 @@
+//! The heartbeat-collector path: estimating `(λ, μ)` online and feeding
+//! the Performance Predictor, exactly as ADAPT's NameNode does.
+//!
+//! Simulates a host's true interruption process, converts it into
+//! heartbeat arrivals and timeouts (all the NameNode ever sees), runs
+//! them through [`HeartbeatMonitor`] → [`IntervalEstimator`], and checks
+//! how close the estimated expected task time lands to the truth.
+//!
+//! Run with: `cargo run --example heartbeat_estimation`
+//!
+//! [`HeartbeatMonitor`]: adapt::availability::estimator::HeartbeatMonitor
+//! [`IntervalEstimator`]: adapt::availability::estimator::IntervalEstimator
+
+use adapt::availability::dist::Dist;
+use adapt::availability::estimator::HeartbeatMonitor;
+use adapt::availability::TaskModel;
+use adapt::sim::interrupt::InterruptionProcess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HEARTBEAT_INTERVAL: f64 = 3.0; // Hadoop's default heartbeat period
+const TIMEOUT_AFTER: f64 = 2.5 * HEARTBEAT_INTERVAL;
+const GAMMA: f64 = 12.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>8} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>8}",
+        "MTBI", "mu", "est MTBI", "est mu", "E[T] true", "E[T] est", "err%"
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    for (mtbi, mu) in [(120.0, 15.0), (300.0, 40.0), (60.0, 6.0)] {
+        // Ground truth process.
+        let mut process = InterruptionProcess::synthetic(mtbi, Dist::exponential_from_mean(mu)?);
+
+        // The NameNode-side observer.
+        let mut monitor = HeartbeatMonitor::new(0.0);
+
+        // Walk 200 outages, emitting heartbeats while up and a timeout
+        // when the gap exceeds the detector threshold.
+        let mut now = 0.0;
+        for _ in 0..200 {
+            let outage = process
+                .next_outage(now, &mut rng)
+                .expect("synthetic processes never end");
+            // Heartbeats every HEARTBEAT_INTERVAL while the host is up.
+            let mut t = now + HEARTBEAT_INTERVAL;
+            while t < outage.down_at {
+                monitor.heartbeat(t);
+                t += HEARTBEAT_INTERVAL;
+            }
+            // The collector notices the silence.
+            monitor.timeout(outage.down_at + TIMEOUT_AFTER);
+            // First heartbeat after recovery.
+            monitor.heartbeat(outage.up_at + HEARTBEAT_INTERVAL);
+            now = outage.up_at;
+        }
+
+        let est = monitor.estimator();
+        let est_mtbi = est.mtbi().unwrap_or(f64::INFINITY);
+        let est_mu = est.mu().unwrap_or(0.0);
+
+        let truth = TaskModel::from_mtbi(mtbi, mu, GAMMA)?.expected_completion();
+        let estimated = TaskModel::new(1.0 / est_mtbi.max(1e-9), est_mu.max(1e-9), GAMMA)?
+            .expected_completion();
+        let err = (estimated - truth).abs() / truth * 100.0;
+        println!(
+            "{:>8.0} {:>6.0} | {:>9.0} {:>9.1} | {:>9.2} {:>9.2} | {:>7.1}%",
+            mtbi, mu, est_mtbi, est_mu, truth, estimated, err
+        );
+    }
+    println!(
+        "\nHeartbeat-derived estimates keep the predictor within a few\n\
+         percent of the true expected task time — the two doubles per node\n\
+         the paper's NameNode maintains are enough."
+    );
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! A full MapReduce job: map phase simulation plus the shuffle/reduce
+//! model — including the paper's future-work lever, availability-aware
+//! reducer placement.
+//!
+//! Run with: `cargo run --example mapreduce_job`
+
+use adapt::availability::dist::Dist;
+use adapt::core::AdaptPolicy;
+use adapt::dfs::cluster::{NodeAvailability, NodeSpec};
+use adapt::dfs::namenode::{NameNode, Threshold};
+use adapt::dfs::{BlockSize, NodeId};
+use adapt::sim::engine::{MapPhaseSim, SimConfig};
+use adapt::sim::interrupt::InterruptionProcess;
+use adapt::sim::runner::placement_from_namenode;
+use adapt::sim::shuffle::{estimate_shuffle, reliable_reducer_placement, ShuffleConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NODES: usize = 16;
+const BLOCKS: usize = 160;
+const GAMMA: f64 = 10.0;
+const REDUCERS: usize = 4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Cluster: half reliable, half Table-2 flaky.
+    let groups = [(10.0, 4.0), (10.0, 8.0), (20.0, 4.0), (20.0, 8.0)];
+    let availability: Vec<NodeAvailability> = (0..NODES)
+        .map(|i| {
+            if i < NODES / 2 {
+                Ok(NodeAvailability::reliable())
+            } else {
+                let (mtbi, mu) = groups[(i - NODES / 2) % 4];
+                NodeAvailability::from_mtbi(mtbi, mu)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Map phase under ADAPT placement.
+    let specs: Vec<NodeSpec> = availability.iter().map(|&a| NodeSpec::new(a)).collect();
+    let mut namenode = NameNode::new(specs);
+    let mut policy = AdaptPolicy::new(GAMMA)?;
+    let mut rng = StdRng::seed_from_u64(5);
+    let file = namenode.create_file(
+        "job-input",
+        BLOCKS,
+        1,
+        &mut policy,
+        Threshold::PaperDefault,
+        &mut rng,
+    )?;
+    let placement = placement_from_namenode(&namenode, file)?;
+    let processes: Vec<InterruptionProcess> = availability
+        .iter()
+        .map(|a| {
+            if a.is_reliable() {
+                Ok(InterruptionProcess::none())
+            } else {
+                Ok(InterruptionProcess::synthetic(
+                    1.0 / a.lambda,
+                    Dist::exponential_from_mean(a.mu)?,
+                ))
+            }
+        })
+        .collect::<Result<_, adapt::availability::AvailabilityError>>()?;
+    let map_cfg = SimConfig::new(8.0, BlockSize::DEFAULT, GAMMA)?;
+    let detailed = MapPhaseSim::new(processes, placement, map_cfg)?.run_detailed(17)?;
+    println!("map phase:");
+    println!("  elapsed  : {:8.1} s", detailed.report.elapsed);
+    println!("  locality : {:8.3}", detailed.report.locality());
+
+    // Per-node view: where did the outputs land?
+    let outputs_per_node: Vec<usize> = detailed
+        .node_stats
+        .iter()
+        .map(|s| s.completed_tasks)
+        .collect();
+    println!("  map outputs per node: {outputs_per_node:?}");
+
+    // Shuffle/reduce: each map task emits 8 MB of intermediate data.
+    let shuffle_cfg = ShuffleConfig::new(REDUCERS, BlockSize::from_mb(8), 8.0, 30.0)?;
+
+    // The slowdown per host drives reducer placement.
+    let slowdown: Vec<f64> = availability
+        .iter()
+        .map(|a| a.expected_completion(GAMMA).map(|et| et / GAMMA))
+        .collect::<Result<_, _>>()?;
+
+    // Future-work lever: reducers on the most reliable hosts...
+    let reliable_nodes = reliable_reducer_placement(&slowdown, REDUCERS)?;
+    let good = estimate_shuffle(&detailed.winners, NODES, &reliable_nodes, &shuffle_cfg)?;
+    // ...versus reducers on the flakiest hosts.
+    let mut worst_order: Vec<usize> = (0..NODES).collect();
+    worst_order.sort_by(|&a, &b| slowdown[b].total_cmp(&slowdown[a]));
+    let volatile_nodes: Vec<NodeId> = worst_order[..REDUCERS]
+        .iter()
+        .map(|&i| NodeId(i as u32))
+        .collect();
+    let bad = estimate_shuffle(&detailed.winners, NODES, &volatile_nodes, &shuffle_cfg)?;
+
+    println!("\nshuffle + reduce (first-order model):");
+    println!(
+        "  reducers on reliable hosts {:?}: elapsed {:7.1} s, shuffle locality {:.3}",
+        good.reducer_nodes,
+        good.elapsed,
+        good.shuffle_locality()
+    );
+    println!(
+        "  reducers on volatile hosts {:?}: elapsed {:7.1} s, shuffle locality {:.3}",
+        bad.reducer_nodes,
+        bad.elapsed,
+        bad.shuffle_locality()
+    );
+    println!(
+        "\ntotal job estimate: {:.1} s (map) + {:.1} s (shuffle/reduce) = {:.1} s",
+        detailed.report.elapsed,
+        good.elapsed,
+        detailed.report.elapsed + good.elapsed
+    );
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Integration: map phase → shuffle/reduce model, including the
+//! future-work levers (availability-aware reducer placement and steal
+//! ordering).
+
+use adapt::availability::dist::Dist;
+use adapt::core::AdaptPolicy;
+use adapt::dfs::cluster::{NodeAvailability, NodeSpec};
+use adapt::dfs::namenode::{NameNode, Threshold};
+use adapt::dfs::{BlockSize, NodeId};
+use adapt::sim::engine::{MapPhaseSim, SchedulingMode, SimConfig};
+use adapt::sim::interrupt::InterruptionProcess;
+use adapt::sim::runner::placement_from_namenode;
+use adapt::sim::shuffle::{estimate_shuffle, reliable_reducer_placement, ShuffleConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn half_flaky(nodes: usize) -> Vec<NodeAvailability> {
+    let groups = [(10.0, 4.0), (10.0, 8.0), (20.0, 4.0), (20.0, 8.0)];
+    (0..nodes)
+        .map(|i| {
+            if i < nodes / 2 {
+                NodeAvailability::reliable()
+            } else {
+                let (mtbi, mu) = groups[(i - nodes / 2) % 4];
+                NodeAvailability::from_mtbi(mtbi, mu).unwrap()
+            }
+        })
+        .collect()
+}
+
+fn run_map(
+    availability: &[NodeAvailability],
+    blocks: usize,
+    mode: SchedulingMode,
+    seed: u64,
+) -> adapt::sim::DetailedReport {
+    let specs: Vec<NodeSpec> = availability.iter().map(|&a| NodeSpec::new(a)).collect();
+    let mut nn = NameNode::new(specs);
+    let mut policy = AdaptPolicy::new(10.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let file = nn
+        .create_file(
+            "f",
+            blocks,
+            1,
+            &mut policy,
+            Threshold::PaperDefault,
+            &mut rng,
+        )
+        .unwrap();
+    let placement = placement_from_namenode(&nn, file).unwrap();
+    let processes: Vec<InterruptionProcess> = availability
+        .iter()
+        .map(|a| {
+            if a.is_reliable() {
+                InterruptionProcess::none()
+            } else {
+                InterruptionProcess::synthetic(
+                    1.0 / a.lambda,
+                    Dist::exponential_from_mean(a.mu).unwrap(),
+                )
+            }
+        })
+        .collect();
+    let cfg = SimConfig::new(8.0, BlockSize::DEFAULT, 10.0)
+        .unwrap()
+        .with_scheduling(mode);
+    MapPhaseSim::new(processes, placement, cfg)
+        .unwrap()
+        .run_detailed(seed)
+        .unwrap()
+}
+
+#[test]
+fn map_winners_feed_the_shuffle_model() {
+    let availability = half_flaky(16);
+    let detailed = run_map(&availability, 160, SchedulingMode::Fifo, 1);
+    assert!(detailed.report.completed);
+    assert!(detailed.winners.iter().all(|w| w.is_some()));
+
+    let cfg = ShuffleConfig::new(4, BlockSize::from_mb(8), 8.0, 20.0).unwrap();
+    let slowdown: Vec<f64> = availability
+        .iter()
+        .map(|a| a.expected_completion(10.0).unwrap() / 10.0)
+        .collect();
+    let reducers = reliable_reducer_placement(&slowdown, 4).unwrap();
+    // All picks must be reliable hosts.
+    assert!(reducers.iter().all(|r| (r.0 as usize) < 8), "{reducers:?}");
+
+    let report = estimate_shuffle(&detailed.winners, 16, &reducers, &cfg).unwrap();
+    assert!(report.elapsed > 20.0, "must include reduce compute");
+    let total_mb = report.network_mb + report.local_mb;
+    assert!(
+        (total_mb - 160.0 * 8.0).abs() < 1e-6,
+        "volume conserved: {total_mb}"
+    );
+}
+
+#[test]
+fn reducer_placement_on_winners_beats_arbitrary_placement() {
+    // Reducers co-located with where outputs actually landed (reliable,
+    // ADAPT-loaded hosts) move less data than reducers on the flaky tail.
+    let availability = half_flaky(16);
+    let detailed = run_map(&availability, 160, SchedulingMode::Fifo, 2);
+    let cfg = ShuffleConfig::new(4, BlockSize::from_mb(8), 8.0, 20.0).unwrap();
+    let slowdown: Vec<f64> = availability
+        .iter()
+        .map(|a| a.expected_completion(10.0).unwrap() / 10.0)
+        .collect();
+    let good = estimate_shuffle(
+        &detailed.winners,
+        16,
+        &reliable_reducer_placement(&slowdown, 4).unwrap(),
+        &cfg,
+    )
+    .unwrap();
+    let bad = estimate_shuffle(
+        &detailed.winners,
+        16,
+        &[NodeId(12), NodeId(13), NodeId(14), NodeId(15)],
+        &cfg,
+    )
+    .unwrap();
+    assert!(good.network_mb <= bad.network_mb);
+    assert!(good.elapsed <= bad.elapsed);
+}
+
+#[test]
+fn both_steal_orderings_complete_with_same_failure_realization() {
+    let availability = half_flaky(16);
+    let fifo = run_map(&availability, 160, SchedulingMode::Fifo, 3);
+    let aware = run_map(&availability, 160, SchedulingMode::AvailabilityAware, 3);
+    assert!(fifo.report.completed && aware.report.completed);
+    assert_eq!(fifo.report.tasks, aware.report.tasks);
+    // Same seed, same cluster: failure realizations are identical (per-
+    // node RNG streams), so differences come from scheduling alone.
+    // Both must be within a sane band of each other.
+    let ratio = fifo.report.elapsed / aware.report.elapsed;
+    assert!((0.3..=3.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn node_stats_are_consistent_with_aggregates() {
+    let availability = half_flaky(16);
+    let detailed = run_map(&availability, 160, SchedulingMode::Fifo, 4);
+    let total: usize = detailed.node_stats.iter().map(|s| s.completed_tasks).sum();
+    assert_eq!(total, detailed.report.tasks);
+    let local: usize = detailed.node_stats.iter().map(|s| s.local_completed).sum();
+    assert_eq!(local, detailed.report.local_tasks);
+    let recovery: f64 = detailed.node_stats.iter().map(|s| s.recovery).sum();
+    assert!((recovery - detailed.report.recovery).abs() < 1e-6);
+    for stat in &detailed.node_stats {
+        assert!(stat.local_completed <= stat.completed_tasks);
+        assert!(stat.recovery <= stat.downtime + 1e-9);
+        assert!(stat.busy >= 0.0 && stat.downtime >= 0.0);
+    }
+}
