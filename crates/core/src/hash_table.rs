@@ -168,6 +168,12 @@ impl PlacementHashTable {
         self.slots.iter().map(Vec::len).max().unwrap_or(0)
     }
 
+    /// The collision-chain length of every slot, in key order (feeds the
+    /// policy's chain-length telemetry histogram).
+    pub fn chain_lengths(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots.iter().map(Vec::len)
+    }
+
     /// Resolves key `r` using secondary draw `r1 ∈ [0, 1)`
     /// (`dataPlacement` in Algorithm 1).
     ///

@@ -66,6 +66,7 @@ pub mod naive;
 pub mod policy;
 pub mod predictor;
 pub mod spread;
+pub mod telemetry;
 pub mod weighted;
 
 pub use hash_table::{ChainWeighting, PlacementHashTable};
@@ -73,3 +74,4 @@ pub use naive::NaivePolicy;
 pub use policy::AdaptPolicy;
 pub use predictor::{NodeRates, PerformancePredictor};
 pub use spread::SpreadPolicy;
+pub use telemetry::{PolicyTelemetry, PolicyTelemetrySnapshot};

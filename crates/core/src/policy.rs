@@ -18,6 +18,7 @@ use adapt_dfs::{DfsError, NodeId};
 
 use crate::hash_table::{ChainWeighting, PlacementHashTable};
 use crate::predictor::{NodeRates, PerformancePredictor};
+use crate::telemetry::{PolicyTelemetry, PolicyTelemetrySnapshot};
 use crate::weighted::weighted_select;
 
 /// Rejection-sampling budget before falling back to direct weighted
@@ -33,6 +34,7 @@ pub struct AdaptPolicy {
     weighting: ChainWeighting,
     table: Option<PlacementHashTable>,
     rates: Option<NodeRates>,
+    telemetry: PolicyTelemetry,
 }
 
 impl AdaptPolicy {
@@ -49,7 +51,19 @@ impl AdaptPolicy {
             weighting: ChainWeighting::default(),
             table: None,
             rates: None,
+            telemetry: PolicyTelemetry::default(),
         })
+    }
+
+    /// The policy's live telemetry (hash-table and selection counters).
+    pub fn telemetry(&self) -> &PolicyTelemetry {
+        &self.telemetry
+    }
+
+    /// A plain-integer snapshot of the policy telemetry, including the
+    /// predictor's `E[T]` evaluation total.
+    pub fn telemetry_snapshot(&self) -> PolicyTelemetrySnapshot {
+        self.telemetry.snapshot(self.predictor.evaluations())
     }
 
     /// Selects the collision-chain weighting (see [`ChainWeighting`]).
@@ -94,11 +108,15 @@ impl PlacementPolicy for AdaptPolicy {
                 eligible: 0,
             });
         }
-        self.table = Some(PlacementHashTable::build(
-            rates.rates(),
-            num_blocks,
-            self.weighting,
-        )?);
+        let table = PlacementHashTable::build(rates.rates(), num_blocks, self.weighting)?;
+        self.telemetry.tables_built.incr();
+        for len in table.chain_lengths() {
+            self.telemetry.chain_lengths.record(len as u64);
+        }
+        self.telemetry
+            .max_chain_len
+            .record(table.max_chain_len() as u64);
+        self.table = Some(table);
         self.rates = Some(rates);
         Ok(())
     }
@@ -121,6 +139,7 @@ impl PlacementPolicy for AdaptPolicy {
         }
         // Slow path (crowded exclusions or no prepared table): weighted
         // selection renormalized over the eligible set.
+        self.telemetry.select_fallbacks.incr();
         let rates = self.ensure_rates(cluster).rates().to_vec();
         weighted_select(cluster, &rates, eligible, rng)
     }

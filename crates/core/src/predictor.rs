@@ -7,9 +7,12 @@
 //! rate `rateᵢ = (1/E[Tᵢ])/Φ` with `Φ = Σ 1/E[Tᵢ]` that Algorithm 1
 //! consumes.
 
+use std::sync::Arc;
+
 use adapt_availability::AvailabilityError;
 use adapt_dfs::placement::ClusterView;
 use adapt_dfs::NodeId;
+use adapt_telemetry::Counter;
 
 /// Per-node expected task times and normalized placement rates.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,9 +57,20 @@ impl NodeRates {
 
 /// Computes expected task times per node from the heartbeat-collected
 /// availability parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Carries an evaluation counter shared by clones (placement sessions
+/// clone the policy holding the predictor; the counter totals every
+/// equation-(5) evaluation regardless).
+#[derive(Debug, Clone)]
 pub struct PerformancePredictor {
     gamma: f64,
+    evals: Arc<Counter>,
+}
+
+impl PartialEq for PerformancePredictor {
+    fn eq(&self, other: &Self) -> bool {
+        self.gamma == other.gamma
+    }
 }
 
 impl PerformancePredictor {
@@ -75,12 +89,21 @@ impl PerformancePredictor {
                 requirement: "must be finite and > 0",
             });
         }
-        Ok(PerformancePredictor { gamma })
+        Ok(PerformancePredictor {
+            gamma,
+            evals: Arc::new(Counter::new()),
+        })
     }
 
     /// The failure-free task length.
     pub fn gamma(&self) -> f64 {
         self.gamma
+    }
+
+    /// Number of `E[T]` evaluations performed through this predictor
+    /// (shared across its clones).
+    pub fn evaluations(&self) -> u64 {
+        self.evals.get()
     }
 
     /// Expected completion time for one node's parameters, following the
@@ -91,6 +114,7 @@ impl PerformancePredictor {
     ///   placement weight is zero;
     /// * a dead node never completes (`+∞`).
     pub fn expected_time(&self, availability: adapt_dfs::NodeAvailability, alive: bool) -> f64 {
+        self.evals.incr();
         if !alive {
             return f64::INFINITY;
         }

@@ -1,0 +1,96 @@
+//! ADAPT-policy observability: predictor and hash-table counters.
+//!
+//! [`PolicyTelemetry`] is embedded in [`AdaptPolicy`] and updated at each
+//! `prepare` (one per file-ingest session, when the weighted hash table
+//! is built) and through the shared predictor evaluation counter.
+//!
+//! [`AdaptPolicy`]: crate::policy::AdaptPolicy
+
+use adapt_telemetry::{Counter, HighWater, Histogram, HistogramSnapshot, Value};
+
+/// Live counters embedded in the ADAPT policy.
+#[derive(Debug, Default, Clone)]
+pub struct PolicyTelemetry {
+    /// Placement hash tables built (one per `prepare`).
+    pub tables_built: Counter,
+    /// Collision-chain length of every slot of every table built.
+    pub chain_lengths: Histogram,
+    /// Longest collision chain seen across all builds.
+    pub max_chain_len: HighWater,
+    /// Rejection-sampling retries that fell through to the renormalized
+    /// weighted-selection slow path.
+    pub select_fallbacks: Counter,
+}
+
+impl PolicyTelemetry {
+    /// Copies the counters (plus the predictor's evaluation total, which
+    /// lives on the shared predictor) into a snapshot.
+    pub fn snapshot(&self, predictor_evaluations: u64) -> PolicyTelemetrySnapshot {
+        PolicyTelemetrySnapshot {
+            predictor_evaluations,
+            tables_built: self.tables_built.get(),
+            chain_lengths: self.chain_lengths.snapshot(),
+            max_chain_len: self.max_chain_len.get(),
+            select_fallbacks: self.select_fallbacks.get(),
+        }
+    }
+}
+
+/// Plain-integer copy of [`PolicyTelemetry`]; merges exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PolicyTelemetrySnapshot {
+    /// Equation-(5) `E[T]` evaluations by the Performance Predictor.
+    pub predictor_evaluations: u64,
+    /// Hash tables built.
+    pub tables_built: u64,
+    /// Distribution of collision-chain lengths over all built slots.
+    pub chain_lengths: HistogramSnapshot,
+    /// Longest chain (max across merges).
+    pub max_chain_len: u64,
+    /// Slow-path weighted selections.
+    pub select_fallbacks: u64,
+}
+
+impl PolicyTelemetrySnapshot {
+    /// Adds `other` into `self` (sums; max for `max_chain_len`).
+    pub fn merge(&mut self, other: &PolicyTelemetrySnapshot) {
+        self.predictor_evaluations += other.predictor_evaluations;
+        self.tables_built += other.tables_built;
+        self.chain_lengths.merge(&other.chain_lengths);
+        self.max_chain_len = self.max_chain_len.max(other.max_chain_len);
+        self.select_fallbacks += other.select_fallbacks;
+    }
+
+    /// Serializes with stable keys.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("chain_lengths", self.chain_lengths.to_value());
+        v.insert("max_chain_len", self.max_chain_len);
+        v.insert("predictor_evaluations", self.predictor_evaluations);
+        v.insert("select_fallbacks", self.select_fallbacks);
+        v.insert("tables_built", self.tables_built);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_merge_and_serialize() {
+        let t = PolicyTelemetry::default();
+        t.tables_built.incr();
+        t.chain_lengths.record(1);
+        t.chain_lengths.record(3);
+        t.max_chain_len.record(3);
+        let a = t.snapshot(10);
+        let mut sum = a.clone();
+        sum.merge(&a);
+        assert_eq!(sum.predictor_evaluations, 20);
+        assert_eq!(sum.tables_built, 2);
+        assert_eq!(sum.max_chain_len, 3);
+        assert_eq!(sum.chain_lengths.count, 4);
+        assert!(sum.to_value().to_json().contains("\"tables_built\":2"));
+    }
+}

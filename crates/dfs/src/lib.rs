@@ -70,6 +70,7 @@ pub mod placement;
 pub mod rebalance;
 pub mod replication;
 pub mod shared;
+pub mod telemetry;
 
 mod error;
 
@@ -78,3 +79,4 @@ pub use cluster::{NodeAvailability, NodeSpec};
 pub use error::DfsError;
 pub use namenode::{NameNode, Threshold};
 pub use placement::{ClusterView, PlacementPolicy, RandomPolicy};
+pub use telemetry::{NameNodeTelemetry, NameNodeTelemetrySnapshot};

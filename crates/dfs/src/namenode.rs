@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::block::{BlockId, FileId, NodeId};
 use crate::cluster::{NodeAvailability, NodeSpec};
 use crate::placement::{ClusterView, NodeView, PlacementPolicy};
+use crate::telemetry::{NameNodeTelemetry, NameNodeTelemetrySnapshot};
 use crate::DfsError;
 
 /// Per-node block cap for one file's placement session.
@@ -121,6 +122,7 @@ pub struct NameNode {
     blocks: BTreeMap<BlockId, BlockMeta>,
     next_file: u64,
     next_block: u64,
+    telemetry: NameNodeTelemetry,
 }
 
 impl NameNode {
@@ -140,7 +142,18 @@ impl NameNode {
             blocks: BTreeMap::new(),
             next_file: 0,
             next_block: 0,
+            telemetry: NameNodeTelemetry::default(),
         }
+    }
+
+    /// The NameNode's placement counters (live).
+    pub fn telemetry(&self) -> &NameNodeTelemetry {
+        &self.telemetry
+    }
+
+    /// A plain-integer snapshot of the placement counters.
+    pub fn telemetry_snapshot(&self) -> NameNodeTelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// Number of registered DataNodes.
@@ -298,7 +311,10 @@ impl NameNode {
                         Some(node) => Some(node),
                         // Threshold made placement impossible: relax it
                         // rather than fail ingestion.
-                        None => policy.select(&view, &base_eligible, rng),
+                        None => {
+                            self.telemetry.threshold_rejections.incr();
+                            policy.select(&view, &base_eligible, rng)
+                        }
                     }
                 };
                 match chosen {
@@ -308,6 +324,7 @@ impl NameNode {
                         replicas.push(node);
                     }
                     None => {
+                        self.telemetry.placement_failures.incr();
                         return Err(DfsError::InsufficientNodes {
                             needed: replication,
                             eligible: replicas.len(),
@@ -319,6 +336,14 @@ impl NameNode {
         }
 
         // Commit.
+        self.telemetry.files_created.incr();
+        self.telemetry.blocks_placed.add(num_blocks as u64);
+        self.telemetry
+            .replicas_placed
+            .add((num_blocks * replication) as u64);
+        self.telemetry
+            .session_max_per_node
+            .record(session.iter().copied().max().unwrap_or(0) as u64);
         let file_id = FileId(self.next_file);
         self.next_file += 1;
         let mut block_ids = Vec::with_capacity(num_blocks);

@@ -154,6 +154,7 @@ pub fn rebalance_file(
             stored[from.0 as usize] -= 1;
             stored[to.0 as usize] += 1;
             report.moved += 1;
+            namenode.telemetry().rebalance_moves.incr();
         }
     }
     Ok(report)

@@ -1,7 +1,8 @@
 //! Regenerates Figure 3: map-phase elapsed time in the emulated
 //! non-dedicated cluster.
 //!
-//! Usage: `fig3 [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]`
+//! Usage: `fig3 [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]
+//! [--report-json PATH]`
 //!
 //! * `a` — sweep the interrupted-node ratio {¼, ½, ¾};
 //! * `b` — sweep the bandwidth {4, 8, 16, 32 Mb/s};
@@ -80,5 +81,9 @@ fn main() {
     if let Err(e) = run(&opts) {
         eprintln!("fig3 failed: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = &opts.report_json {
+        let base = base_config(&opts);
+        adapt_experiments::run_report::write_probe_report("fig3", path, base.nodes, base.seed);
     }
 }

@@ -1,7 +1,8 @@
 //! Regenerates Figure 4: data locality in the emulated non-dedicated
 //! cluster (same sweeps as Figure 3).
 //!
-//! Usage: `fig4 [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]`
+//! Usage: `fig4 [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]
+//! [--report-json PATH]`
 
 use adapt_experiments::cli::Options;
 use adapt_experiments::config::EmulatedConfig;
@@ -75,5 +76,9 @@ fn main() {
     if let Err(e) = run(&opts) {
         eprintln!("fig4 failed: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = &opts.report_json {
+        let base = base_config(&opts);
+        adapt_experiments::run_report::write_probe_report("fig4", path, base.nodes, base.seed);
     }
 }

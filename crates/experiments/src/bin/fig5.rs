@@ -1,7 +1,8 @@
 //! Regenerates Figure 5: the overhead decomposition of the large-scale
 //! trace-driven simulation.
 //!
-//! Usage: `fig5 [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]`
+//! Usage: `fig5 [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]
+//! [--report-json PATH]`
 //!
 //! * `a` — sweep the bandwidth {4, 8, 16, 32 Mb/s};
 //! * `b` — sweep the block size {32, 64, 128, 256 MB};
@@ -82,5 +83,9 @@ fn main() {
     if let Err(e) = run(&opts) {
         eprintln!("fig5 failed: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = &opts.report_json {
+        let base = base_config(&opts);
+        adapt_experiments::run_report::write_probe_report("fig5", path, base.nodes, base.seed);
     }
 }

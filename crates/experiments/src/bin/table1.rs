@@ -1,11 +1,14 @@
 //! Regenerates Table 1: SETI@home-like population statistics
 //! (measured vs paper).
 //!
-//! Usage: `table1 [--paper] [--nodes N] [--seed N]`
+//! Usage: `table1 [--paper] [--nodes N] [--seed N] [--report-json PATH]`
 //! `--paper` uses the archive's full 226 208-host population size;
 //! the default uses 20 000 hosts (statistically equivalent, much faster).
+//! `--report-json` additionally runs the telemetry probe pipeline at the
+//! same host count and writes a deterministic JSON run report.
 
 use adapt_experiments::cli::Options;
+use adapt_experiments::run_report::{build_run_report, finish_report, table1_section};
 use adapt_experiments::table1::{render_comparison, run_table1};
 
 fn main() {
@@ -23,11 +26,27 @@ fn main() {
 
     println!("== Table 1: summary of SETI@home-like failure data ==");
     println!("   ({hosts} synthetic hosts, seed {seed})\n");
-    match run_table1(hosts, seed) {
-        Ok(summary) => print!("{}", render_comparison(&summary)),
+    let summary = match run_table1(hosts, seed) {
+        Ok(summary) => {
+            print!("{}", render_comparison(&summary));
+            summary
+        }
         Err(e) => {
             eprintln!("table1 failed: {e}");
             std::process::exit(1);
+        }
+    };
+
+    if let Some(path) = &opts.report_json {
+        match build_run_report("table1", hosts, seed) {
+            Ok(mut report) => {
+                report.set_section("table1", table1_section(&summary));
+                finish_report(&report, path);
+            }
+            Err(e) => {
+                eprintln!("table1: run report failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

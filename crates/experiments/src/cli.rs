@@ -1,8 +1,9 @@
 //! Minimal argument parsing shared by the experiment binaries.
 //!
 //! Flags: `--paper` (full paper scale), `--runs N`, `--nodes N`,
-//! `--seed N`, `--csv`, plus a free-form positional (the sub-figure
-//! selector `a`/`b`/`c` where applicable).
+//! `--seed N`, `--csv`, `--report-json PATH` (write a deterministic
+//! telemetry run report, see [`crate::run_report`]), plus a free-form
+//! positional (the sub-figure selector `a`/`b`/`c` where applicable).
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -17,6 +18,8 @@ pub struct Options {
     pub seed: Option<u64>,
     /// Emit CSV instead of a text table.
     pub csv: bool,
+    /// Write a deterministic telemetry run report (JSON) to this path.
+    pub report_json: Option<String>,
     /// Positional arguments (e.g. the sub-figure selector).
     pub positional: Vec<String>,
 }
@@ -38,9 +41,16 @@ impl Options {
                 "--runs" => opts.runs = Some(parse_value(&arg, args.next())?),
                 "--nodes" => opts.nodes = Some(parse_value(&arg, args.next())?),
                 "--seed" => opts.seed = Some(parse_value(&arg, args.next())?),
+                "--report-json" => {
+                    let path = args
+                        .next()
+                        .ok_or_else(|| format!("flag `{arg}` needs a value"))?;
+                    opts.report_json = Some(path);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]"
+                        "usage: [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv] \
+                         [--report-json PATH]"
                             .to_string(),
                     )
                 }
@@ -93,6 +103,14 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--runs"]).is_err());
         assert!(parse(&["--runs", "x"]).is_err());
+        assert!(parse(&["--report-json"]).is_err());
+    }
+
+    #[test]
+    fn parses_report_json_path() {
+        let o = parse(&["--report-json", "/tmp/r.json"]).unwrap();
+        assert_eq!(o.report_json.as_deref(), Some("/tmp/r.json"));
+        assert!(parse(&[]).unwrap().report_json.is_none());
     }
 
     #[test]

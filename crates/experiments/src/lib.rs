@@ -33,6 +33,7 @@ pub mod largescale;
 pub mod parallel;
 pub mod policies;
 pub mod report;
+pub mod run_report;
 pub mod table1;
 
 mod error;

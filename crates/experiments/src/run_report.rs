@@ -1,0 +1,236 @@
+//! Deterministic telemetry run reports — the `--report-json` flag.
+//!
+//! Every experiment binary can emit a machine-readable [`RunReport`]
+//! alongside its human-readable output. The report is built by a *probe
+//! run*: one compact end-to-end pass through the whole stack — synthetic
+//! trace generation, per-host availability estimation, NameNode placement
+//! under [`AdaptPolicy`], and the map-phase discrete-event simulation —
+//! with the telemetry of every layer collected into one JSON document.
+//!
+//! The report is byte-stable for a given `(nodes, seed)` pair: all
+//! counters are integers, all durations are integer microseconds of
+//! *simulated* time, keys are sorted, and nothing environmental (wall
+//! clock, hostnames, paths) is recorded. CI diffs the report against a
+//! checked-in baseline to catch silent behavioural drift.
+//!
+//! [`AdaptPolicy`]: adapt_core::AdaptPolicy
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use adapt_core::AdaptPolicy;
+use adapt_dfs::cluster::NodeSpec;
+use adapt_dfs::namenode::{NameNode, Threshold};
+use adapt_sim::engine::{MapPhaseSim, SimConfig};
+use adapt_sim::interrupt::InterruptionProcess;
+use adapt_sim::runner::placement_from_namenode;
+use adapt_telemetry::{RunReport, Value};
+use adapt_traces::replay::InterruptionSchedule;
+use adapt_traces::stats::TraceSummary;
+
+use crate::config::LargeScaleConfig;
+use crate::largescale::World;
+use crate::ExperimentError;
+
+/// The probe run's configuration: the large-scale defaults shrunk to one
+/// run of `nodes` hosts with 10 tasks per node — small enough to finish
+/// in seconds at the CI scale (2 000 nodes), large enough to exercise
+/// steals, speculation, interruptions, and threshold placement.
+pub fn probe_config(nodes: usize, seed: u64) -> LargeScaleConfig {
+    LargeScaleConfig {
+        nodes,
+        tasks_per_node: 10,
+        runs: 1,
+        seed,
+        ..LargeScaleConfig::default()
+    }
+}
+
+/// Runs the probe pipeline and assembles the report for `tool`.
+///
+/// Sections:
+///
+/// * `probe_config` — the parameters the probe ran with;
+/// * `sim_engine` — engine counters and histograms
+///   ([`adapt_sim::EngineTelemetrySnapshot`]): events dispatched, steals,
+///   speculative outcomes, interruptions, per-node busy/idle/down time,
+///   queue-depth high-water mark, and the per-category overhead seconds
+///   (rework / recovery / migration / misc) in exact microseconds;
+/// * `namenode` — placement counters
+///   ([`adapt_dfs::NameNodeTelemetrySnapshot`]): blocks and replicas
+///   placed, threshold rejections, placement failures;
+/// * `policy` — ADAPT-policy counters
+///   ([`adapt_core::PolicyTelemetrySnapshot`]): predictor `E[T]`
+///   evaluations, hash-table builds, collision-chain lengths;
+/// * `summary` — the probe's [`adapt_sim::SimReport`] headline numbers.
+///
+/// # Errors
+///
+/// Propagates substrate failures as [`ExperimentError`].
+pub fn build_run_report(tool: &str, nodes: usize, seed: u64) -> Result<RunReport, ExperimentError> {
+    let config = probe_config(nodes, seed);
+    let world = World::generate(&config)?;
+    let gamma = config.gamma();
+
+    // Same paired-seed discipline as the large-scale harness: placement
+    // and trace-rotation randomness on independent streams.
+    let mut place_rng = StdRng::seed_from_u64(seed ^ 0x70AC_E5EED);
+    let mut rotate_rng = StdRng::seed_from_u64(seed ^ 0x0FF5_E715);
+
+    let schedules: Vec<InterruptionSchedule> = world
+        .traces()
+        .iter()
+        .map(|host| InterruptionSchedule::rotated_random(host, &mut rotate_rng))
+        .collect();
+    let specs: Vec<NodeSpec> = world
+        .availability()
+        .iter()
+        .map(|&a| NodeSpec::new(a))
+        .collect();
+    let mut namenode = NameNode::new(specs);
+    for (i, schedule) in schedules.iter().enumerate() {
+        if schedule.is_down_at(0.0) {
+            namenode.mark_down(adapt_dfs::NodeId(i as u32))?;
+        }
+    }
+
+    let mut policy = AdaptPolicy::new(gamma)?;
+    let file = namenode.create_file(
+        "probe-input",
+        config.total_blocks(),
+        config.replication,
+        &mut policy,
+        Threshold::PaperDefault,
+        &mut place_rng,
+    )?;
+    let placement = placement_from_namenode(&namenode, file)?;
+
+    let processes: Vec<InterruptionProcess> = schedules
+        .into_iter()
+        .map(InterruptionProcess::trace)
+        .collect();
+    let cfg = SimConfig::new(config.bandwidth_mbps, config.block_size, gamma)?.with_horizon(1e7);
+    let detailed = MapPhaseSim::new(processes, placement, cfg)?.run_detailed(seed)?;
+
+    let mut report = RunReport::new(tool);
+    report.set_meta("nodes", nodes as u64);
+    report.set_meta("seed", seed);
+
+    let mut probe = Value::object();
+    probe.insert("bandwidth_mbps", config.bandwidth_mbps);
+    probe.insert("block_size_mb", config.block_size.as_mb());
+    probe.insert("gamma_s", gamma);
+    probe.insert("nodes", nodes as u64);
+    probe.insert("replication", config.replication as u64);
+    probe.insert("tasks_per_node", config.tasks_per_node as u64);
+    report.set_section("probe_config", probe);
+
+    report.set_section("sim_engine", detailed.telemetry.to_value());
+    report.set_section("namenode", namenode.telemetry_snapshot().to_value());
+    report.set_section("policy", policy.telemetry_snapshot().to_value());
+
+    let r = &detailed.report;
+    let mut summary = Value::object();
+    summary.insert("base_work_s", r.base_work);
+    summary.insert("completed", r.completed);
+    summary.insert("elapsed_s", r.elapsed);
+    summary.insert("local_tasks", r.local_tasks as u64);
+    summary.insert("migration_s", r.migration);
+    summary.insert("misc_s", r.misc);
+    summary.insert("recovery_s", r.recovery);
+    summary.insert("rework_s", r.rework);
+    summary.insert("tasks", r.tasks as u64);
+    report.set_section("summary", summary);
+
+    Ok(report)
+}
+
+/// The Table 1 population statistics as a report section (attached by the
+/// `table1` binary next to the probe sections).
+pub fn table1_section(summary: &TraceSummary) -> Value {
+    let mut v = Value::object();
+    v.insert("duration_cov", summary.duration.cov());
+    v.insert("duration_mean_s", summary.duration.mean());
+    v.insert("duration_std_s", summary.duration.std_dev());
+    v.insert("events", summary.events as u64);
+    v.insert("hosts", summary.hosts as u64);
+    v.insert("mtbi_cov", summary.mtbi.cov());
+    v.insert("mtbi_mean_s", summary.mtbi.mean());
+    v.insert("mtbi_std_s", summary.mtbi.std_dev());
+    v
+}
+
+/// Builds the probe report for `tool` and writes it to `path`, printing a
+/// one-line confirmation — the shared tail of every binary's
+/// `--report-json` handling. Exits the process on failure (consistent
+/// with the binaries' other error paths).
+pub fn write_probe_report(tool: &str, path: &str, nodes: usize, seed: u64) {
+    match build_run_report(tool, nodes, seed) {
+        Ok(report) => finish_report(&report, path),
+        Err(e) => {
+            eprintln!("{tool}: run report failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Writes an assembled report to `path` (the `table1` binary adds its own
+/// section first, then calls this).
+pub fn finish_report(report: &RunReport, path: &str) {
+    if let Err(e) = report.write_to(std::path::Path::new(path)) {
+        eprintln!("cannot write run report to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("run report written to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_report_contains_every_layer() {
+        let report = build_run_report("test", 96, 7).unwrap();
+        let v = report.to_value();
+        let json = v.to_json();
+        for key in [
+            "\"sim_engine\"",
+            "\"namenode\"",
+            "\"policy\"",
+            "\"steals\"",
+            "\"interruptions\"",
+            "\"speculative_wins\"",
+            "\"speculative_losses\"",
+            "\"blocks_placed\"",
+            "\"predictor_evaluations\"",
+            "\"rework_us\"",
+            "\"recovery_us\"",
+            "\"migration_us\"",
+            "\"misc_us\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let engine = report.section("sim_engine").unwrap();
+        assert_eq!(engine.get("runs"), Some(&Value::from(1u64)));
+        let namenode = report.section("namenode").unwrap();
+        assert_eq!(namenode.get("blocks_placed"), Some(&Value::from(960u64)));
+    }
+
+    #[test]
+    fn probe_report_is_deterministic() {
+        let a = build_run_report("test", 64, 3).unwrap().to_json();
+        let b = build_run_report("test", 64, 3).unwrap().to_json();
+        assert_eq!(a, b);
+        // A different seed must actually change the measured payload.
+        let c = build_run_report("test", 64, 4).unwrap().to_json();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn table1_section_has_stable_keys() {
+        let summary = crate::table1::run_table1(50, 1).unwrap();
+        let v = table1_section(&summary);
+        assert_eq!(v.get("hosts"), Some(&Value::from(50u64)));
+        assert!(v.to_json().starts_with("{\"duration_cov\":"));
+    }
+}

@@ -44,6 +44,7 @@ use adapt_dfs::{BlockSize, NodeId};
 
 use crate::event::EventQueue;
 use crate::interrupt::InterruptionProcess;
+use crate::telemetry::{EngineTelemetry, EngineTelemetrySnapshot};
 use crate::SimError;
 
 /// Per-node activity summary of one run (from
@@ -72,6 +73,8 @@ pub struct DetailedReport {
     /// For each task, the node whose attempt completed it (`None` only
     /// in incomplete runs). Feeds the shuffle-phase model.
     pub winners: Vec<Option<NodeId>>,
+    /// Engine counters and histograms accumulated during the run.
+    pub telemetry: EngineTelemetrySnapshot,
 }
 
 /// How the JobTracker orders steal candidates.
@@ -468,6 +471,7 @@ pub struct MapPhaseSim {
     attempts: usize,
     transfers: usize,
     local_completions: usize,
+    telemetry: EngineTelemetry,
 }
 
 impl MapPhaseSim {
@@ -590,6 +594,7 @@ impl MapPhaseSim {
             attempts: 0,
             transfers: 0,
             local_completions: 0,
+            telemetry: EngineTelemetry::default(),
         })
     }
 
@@ -632,19 +637,36 @@ impl MapPhaseSim {
         self.queue.push(0.0, Event::Kick);
 
         let mut elapsed = None;
-        while let Some((t, event)) = self.queue.pop() {
+        loop {
+            // The queue is longest right before a dispatch (pushes happen
+            // inside handlers; nothing pops in between), so sampling here
+            // observes every high-water mark.
+            self.telemetry
+                .queue_depth_hwm
+                .record(self.queue.len() as u64);
+            let Some((t, event)) = self.queue.pop() else {
+                break;
+            };
             if t > self.cfg.horizon {
                 break;
             }
             match event {
                 Event::Kick => {
+                    self.telemetry.events_kick.incr();
                     for i in 0..self.nodes.len() as u32 {
                         self.try_assign(i, t);
                     }
                 }
-                Event::Down(n) => self.on_down(n, t),
-                Event::Up(n) => self.on_up(n, t, &mut rngs[n as usize]),
+                Event::Down(n) => {
+                    self.telemetry.events_down.incr();
+                    self.on_down(n, t);
+                }
+                Event::Up(n) => {
+                    self.telemetry.events_up.incr();
+                    self.on_up(n, t, &mut rngs[n as usize]);
+                }
                 Event::AttemptDone { node, epoch } => {
+                    self.telemetry.events_attempt_done.incr();
                     if self.nodes[node as usize].epoch == epoch {
                         self.on_attempt_done(node, t);
                         if self.done_count == self.tasks.len() {
@@ -654,6 +676,7 @@ impl MapPhaseSim {
                     }
                 }
                 Event::Requeue(task) => {
+                    self.telemetry.events_requeue.incr();
                     self.requeue(task, t);
                     self.dispatch_idle(t, &[task]);
                 }
@@ -722,6 +745,7 @@ impl MapPhaseSim {
             }
         }
         if let Some(task) = chosen {
+            self.telemetry.steals.incr();
             self.start_task(n, task, t);
             return true;
         }
@@ -773,6 +797,7 @@ impl MapPhaseSim {
                     && self.slowdown[n as usize] * STRAGGLER_ADVANTAGE <= best_copy_slowdown
             });
             if let Some(task) = candidate {
+                self.telemetry.speculative_attempts.incr();
                 self.start_task(n, task, t);
                 return true;
             }
@@ -826,6 +851,7 @@ impl MapPhaseSim {
         let ni = n as usize;
         debug_assert!(self.nodes[ni].up && self.nodes[ni].running.is_none());
         self.attempts += 1;
+        self.telemetry.attempts_started.incr();
         self.idle.remove(&n);
 
         let local = self.tasks[task].replicas.contains(&n);
@@ -859,6 +885,10 @@ impl MapPhaseSim {
                 end,
             });
             self.transfers += 1;
+            self.telemetry.transfers_started.incr();
+            self.telemetry
+                .transfer_bytes
+                .record(self.cfg.block_size.bytes());
             end
         };
 
@@ -903,6 +933,9 @@ impl MapPhaseSim {
 
         self.nodes[ni].busy += t - attempt.reserve_start;
         self.nodes[ni].completed_tasks += 1;
+        self.telemetry
+            .attempt_duration_us
+            .record_secs(t - attempt.reserve_start);
         if attempt.local {
             self.local_completions += 1;
             self.nodes[ni].local_completed += 1;
@@ -919,6 +952,9 @@ impl MapPhaseSim {
 
         // Kill losing duplicates and let their nodes move on.
         let losers = std::mem::take(&mut self.tasks[task].running_on);
+        if !losers.is_empty() {
+            self.telemetry.speculative_wins.incr();
+        }
         for loser in losers {
             self.kill_attempt(loser, t, KillReason::DuplicateLost);
             self.try_assign(loser, t);
@@ -941,9 +977,18 @@ impl MapPhaseSim {
 
         let compute_lost = (t - attempt.compute_start).clamp(0.0, self.cfg.gamma);
         match reason {
-            KillReason::Interruption => self.rework += compute_lost,
+            KillReason::Interruption => {
+                self.rework += compute_lost;
+                self.telemetry.kills_interruption.incr();
+            }
             // A killed fetch has no compute to lose; both bucket to misc.
-            KillReason::DuplicateLost | KillReason::SourceLost => self.dup_compute += compute_lost,
+            KillReason::DuplicateLost | KillReason::SourceLost => {
+                self.dup_compute += compute_lost;
+                match reason {
+                    KillReason::DuplicateLost => self.telemetry.speculative_losses.incr(),
+                    _ => self.telemetry.kills_source_lost.incr(),
+                }
+            }
         }
         if !attempt.local {
             // The transfer window was committed on both links either way.
@@ -972,6 +1017,7 @@ impl MapPhaseSim {
         if self.tasks[task].done || !self.tasks[task].running_on.is_empty() {
             return; // resolved while the detection timer ran
         }
+        self.telemetry.requeues.incr();
         self.pending.insert(task);
         for &r in &self.tasks[task].replicas.clone() {
             self.add_local_pending(r, task, t);
@@ -988,6 +1034,7 @@ impl MapPhaseSim {
     fn on_down(&mut self, n: u32, t: f64) {
         let ni = n as usize;
         debug_assert!(self.nodes[ni].up);
+        self.telemetry.interruptions.incr();
         self.kill_attempt(n, t, KillReason::Interruption);
         self.nodes[ni].up = false;
         self.nodes[ni].down_since = Some(t);
@@ -1132,6 +1179,11 @@ impl MapPhaseSim {
             recovery += node.recovery;
             let uptime = (elapsed - node.downtime).max(0.0);
             up_idle += (uptime - node.busy).max(0.0);
+            self.telemetry.node_busy_us.record_secs(node.busy);
+            self.telemetry.node_down_us.record_secs(node.downtime);
+            self.telemetry
+                .node_idle_us
+                .record_secs((uptime - node.busy).max(0.0));
             node_stats.push(NodeStat {
                 busy: node.busy,
                 downtime: node.downtime,
@@ -1154,10 +1206,16 @@ impl MapPhaseSim {
             misc: up_idle + self.dup_compute,
             completed,
         };
+        self.telemetry.rework.add_secs(report.rework);
+        self.telemetry.recovery.add_secs(report.recovery);
+        self.telemetry.migration.add_secs(report.migration);
+        self.telemetry.misc.add_secs(report.misc);
+        self.telemetry.elapsed.add_secs(report.elapsed);
         DetailedReport {
             report,
             node_stats,
             winners: self.tasks.iter().map(|t| t.winner.map(NodeId)).collect(),
+            telemetry: self.telemetry.snapshot(),
         }
     }
 }

@@ -52,9 +52,11 @@ pub mod event;
 pub mod interrupt;
 pub mod runner;
 pub mod shuffle;
+pub mod telemetry;
 
 mod error;
 
 pub use engine::{DetailedReport, MapPhaseSim, NodeStat, SchedulingMode, SimConfig, SimReport};
 pub use error::SimError;
 pub use interrupt::InterruptionProcess;
+pub use telemetry::{EngineTelemetry, EngineTelemetrySnapshot};

@@ -1,0 +1,287 @@
+//! Engine observability: counters and histograms the map-phase simulator
+//! maintains while it runs.
+//!
+//! [`EngineTelemetry`] holds the live (atomic) instruments embedded in
+//! [`MapPhaseSim`]; [`finalize`](MapPhaseSim::run_detailed) snapshots it
+//! into the plain-integer [`EngineTelemetrySnapshot`] carried by
+//! [`DetailedReport`]. Snapshots from repeated runs [`merge`] exactly
+//! (integer sums / max), so aggregating many seeds is deterministic
+//! regardless of the order threads finish.
+//!
+//! [`MapPhaseSim`]: crate::engine::MapPhaseSim
+//! [`DetailedReport`]: crate::engine::DetailedReport
+//! [`merge`]: EngineTelemetrySnapshot::merge
+
+use adapt_telemetry::{Counter, HighWater, Histogram, HistogramSnapshot, SecondsAccum, Value};
+
+/// Live instruments the engine updates during a run. All operations are
+/// relaxed atomics on preallocated storage — nothing here allocates or
+/// locks on the event path.
+#[derive(Debug, Default)]
+pub struct EngineTelemetry {
+    /// `Kick` events dispatched.
+    pub events_kick: Counter,
+    /// `Down` events dispatched.
+    pub events_down: Counter,
+    /// `Up` events dispatched.
+    pub events_up: Counter,
+    /// `AttemptDone` events dispatched (including stale epochs).
+    pub events_attempt_done: Counter,
+    /// `Requeue` events dispatched.
+    pub events_requeue: Counter,
+    /// Peak event-queue depth, sampled at every dispatch.
+    pub queue_depth_hwm: HighWater,
+    /// Non-local task starts (straggler steals, case 2 of `try_assign`).
+    pub steals: Counter,
+    /// Speculative duplicate attempts started (case 3 of `try_assign`).
+    pub speculative_attempts: Counter,
+    /// Completions that raced at least one concurrent duplicate and won.
+    pub speculative_wins: Counter,
+    /// Attempts killed because another copy of the task finished first.
+    pub speculative_losses: Counter,
+    /// Node outages that began during the run (`Down` handled).
+    pub interruptions: Counter,
+    /// Attempts killed by an interruption of their host.
+    pub kills_interruption: Counter,
+    /// Attempts killed because the block fetch's source host died.
+    pub kills_source_lost: Counter,
+    /// Tasks returned to the pending pool after losing every attempt.
+    pub requeues: Counter,
+    /// Attempts started (equals `SimReport::attempts`).
+    pub attempts_started: Counter,
+    /// Block transfers started (equals `SimReport::transfers`).
+    pub transfers_started: Counter,
+    /// Wall (simulated) duration of each completed attempt, µs.
+    pub attempt_duration_us: Histogram,
+    /// Bytes moved per block transfer.
+    pub transfer_bytes: Histogram,
+    /// Per-node busy seconds at the end of the run, µs (one observation
+    /// per node; `sum` is cluster-total busy time).
+    pub node_busy_us: Histogram,
+    /// Per-node down seconds, µs.
+    pub node_down_us: Histogram,
+    /// Per-node up-idle seconds, µs.
+    pub node_idle_us: Histogram,
+    /// Overhead decomposition (paper Figure 5), exact microseconds.
+    pub rework: SecondsAccum,
+    /// Recovery seconds (down while holding pending local work).
+    pub recovery: SecondsAccum,
+    /// Migration seconds (assignment-to-compute gap of remote attempts).
+    pub migration: SecondsAccum,
+    /// Misc seconds (up-idle plus losing-duplicate compute).
+    pub misc: SecondsAccum,
+    /// Map-phase elapsed simulated time, µs.
+    pub elapsed: SecondsAccum,
+}
+
+impl EngineTelemetry {
+    /// Snapshots every instrument into plain integers.
+    pub fn snapshot(&self) -> EngineTelemetrySnapshot {
+        EngineTelemetrySnapshot {
+            events_kick: self.events_kick.get(),
+            events_down: self.events_down.get(),
+            events_up: self.events_up.get(),
+            events_attempt_done: self.events_attempt_done.get(),
+            events_requeue: self.events_requeue.get(),
+            queue_depth_hwm: self.queue_depth_hwm.get(),
+            steals: self.steals.get(),
+            speculative_attempts: self.speculative_attempts.get(),
+            speculative_wins: self.speculative_wins.get(),
+            speculative_losses: self.speculative_losses.get(),
+            interruptions: self.interruptions.get(),
+            kills_interruption: self.kills_interruption.get(),
+            kills_source_lost: self.kills_source_lost.get(),
+            requeues: self.requeues.get(),
+            attempts_started: self.attempts_started.get(),
+            transfers_started: self.transfers_started.get(),
+            attempt_duration_us: self.attempt_duration_us.snapshot(),
+            transfer_bytes: self.transfer_bytes.snapshot(),
+            node_busy_us: self.node_busy_us.snapshot(),
+            node_down_us: self.node_down_us.snapshot(),
+            node_idle_us: self.node_idle_us.snapshot(),
+            rework_us: self.rework.micros(),
+            recovery_us: self.recovery.micros(),
+            migration_us: self.migration.micros(),
+            misc_us: self.misc.micros(),
+            elapsed_us: self.elapsed.micros(),
+            runs: 1,
+        }
+    }
+}
+
+/// Plain-integer engine telemetry: one run's worth, or the exact sum of
+/// several runs after [`merge`](EngineTelemetrySnapshot::merge).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineTelemetrySnapshot {
+    /// `Kick` events dispatched.
+    pub events_kick: u64,
+    /// `Down` events dispatched.
+    pub events_down: u64,
+    /// `Up` events dispatched.
+    pub events_up: u64,
+    /// `AttemptDone` events dispatched (including stale epochs).
+    pub events_attempt_done: u64,
+    /// `Requeue` events dispatched.
+    pub events_requeue: u64,
+    /// Peak event-queue depth (max across merged runs).
+    pub queue_depth_hwm: u64,
+    /// Non-local task starts.
+    pub steals: u64,
+    /// Speculative duplicate attempts started.
+    pub speculative_attempts: u64,
+    /// Completions that beat at least one concurrent duplicate.
+    pub speculative_wins: u64,
+    /// Attempts killed by a faster copy.
+    pub speculative_losses: u64,
+    /// Node outages during the run(s).
+    pub interruptions: u64,
+    /// Attempts killed by host interruptions.
+    pub kills_interruption: u64,
+    /// Attempts killed by mid-transfer source death.
+    pub kills_source_lost: u64,
+    /// Tasks returned to the pending pool.
+    pub requeues: u64,
+    /// Attempts started.
+    pub attempts_started: u64,
+    /// Block transfers started.
+    pub transfers_started: u64,
+    /// Completed-attempt durations, µs.
+    pub attempt_duration_us: HistogramSnapshot,
+    /// Bytes per block transfer.
+    pub transfer_bytes: HistogramSnapshot,
+    /// Per-node busy time, µs.
+    pub node_busy_us: HistogramSnapshot,
+    /// Per-node down time, µs.
+    pub node_down_us: HistogramSnapshot,
+    /// Per-node up-idle time, µs.
+    pub node_idle_us: HistogramSnapshot,
+    /// Rework overhead, µs.
+    pub rework_us: u64,
+    /// Recovery overhead, µs.
+    pub recovery_us: u64,
+    /// Migration overhead, µs.
+    pub migration_us: u64,
+    /// Misc overhead, µs.
+    pub misc_us: u64,
+    /// Elapsed simulated time, µs (summed across merged runs).
+    pub elapsed_us: u64,
+    /// Number of runs merged into this snapshot.
+    pub runs: u64,
+}
+
+impl EngineTelemetrySnapshot {
+    /// Adds `other`'s run(s) into `self`. Pure integer sums (max for the
+    /// queue high-water mark), so merge order cannot change the result.
+    pub fn merge(&mut self, other: &EngineTelemetrySnapshot) {
+        self.events_kick += other.events_kick;
+        self.events_down += other.events_down;
+        self.events_up += other.events_up;
+        self.events_attempt_done += other.events_attempt_done;
+        self.events_requeue += other.events_requeue;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
+        self.steals += other.steals;
+        self.speculative_attempts += other.speculative_attempts;
+        self.speculative_wins += other.speculative_wins;
+        self.speculative_losses += other.speculative_losses;
+        self.interruptions += other.interruptions;
+        self.kills_interruption += other.kills_interruption;
+        self.kills_source_lost += other.kills_source_lost;
+        self.requeues += other.requeues;
+        self.attempts_started += other.attempts_started;
+        self.transfers_started += other.transfers_started;
+        self.attempt_duration_us.merge(&other.attempt_duration_us);
+        self.transfer_bytes.merge(&other.transfer_bytes);
+        self.node_busy_us.merge(&other.node_busy_us);
+        self.node_down_us.merge(&other.node_down_us);
+        self.node_idle_us.merge(&other.node_idle_us);
+        self.rework_us += other.rework_us;
+        self.recovery_us += other.recovery_us;
+        self.migration_us += other.migration_us;
+        self.misc_us += other.misc_us;
+        self.elapsed_us += other.elapsed_us;
+        self.runs += other.runs;
+    }
+
+    /// Serializes the snapshot as a JSON object with stable keys.
+    pub fn to_value(&self) -> Value {
+        let mut events = Value::object();
+        events.insert("attempt_done", self.events_attempt_done);
+        events.insert("down", self.events_down);
+        events.insert("kick", self.events_kick);
+        events.insert("requeue", self.events_requeue);
+        events.insert("up", self.events_up);
+
+        let mut overhead = Value::object();
+        overhead.insert("migration_us", self.migration_us);
+        overhead.insert("misc_us", self.misc_us);
+        overhead.insert("recovery_us", self.recovery_us);
+        overhead.insert("rework_us", self.rework_us);
+
+        let mut v = Value::object();
+        v.insert("attempt_duration_us", self.attempt_duration_us.to_value());
+        v.insert("attempts_started", self.attempts_started);
+        v.insert("elapsed_us", self.elapsed_us);
+        v.insert("events_dispatched", events);
+        v.insert("interruptions", self.interruptions);
+        v.insert("kills_interruption", self.kills_interruption);
+        v.insert("kills_source_lost", self.kills_source_lost);
+        v.insert("node_busy_us", self.node_busy_us.to_value());
+        v.insert("node_down_us", self.node_down_us.to_value());
+        v.insert("node_idle_us", self.node_idle_us.to_value());
+        v.insert("overhead", overhead);
+        v.insert("queue_depth_hwm", self.queue_depth_hwm);
+        v.insert("requeues", self.requeues);
+        v.insert("runs", self.runs);
+        v.insert("speculative_attempts", self.speculative_attempts);
+        v.insert("speculative_losses", self.speculative_losses);
+        v.insert("speculative_wins", self.speculative_wins);
+        v.insert("steals", self.steals);
+        v.insert("transfer_bytes", self.transfer_bytes.to_value());
+        v.insert("transfers_started", self.transfers_started);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counts_and_maxes_hwm() {
+        let t = EngineTelemetry::default();
+        t.steals.add(3);
+        t.queue_depth_hwm.record(10);
+        t.rework.add_secs(1.5);
+        t.attempt_duration_us.record(100);
+        let a = t.snapshot();
+
+        let u = EngineTelemetry::default();
+        u.steals.add(4);
+        u.queue_depth_hwm.record(7);
+        u.rework.add_secs(0.25);
+        let b = u.snapshot();
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.steals, 7);
+        assert_eq!(ab.queue_depth_hwm, 10);
+        assert_eq!(ab.rework_us, 1_750_000);
+        assert_eq!(ab.runs, 2);
+        assert_eq!(ab.attempt_duration_us.count, 1);
+    }
+
+    #[test]
+    fn to_value_is_deterministic() {
+        let t = EngineTelemetry::default();
+        t.events_kick.incr();
+        t.interruptions.add(2);
+        let snap = t.snapshot();
+        assert_eq!(snap.to_value().to_json(), snap.to_value().to_json());
+        let json = snap.to_value().to_json();
+        assert!(json.contains("\"interruptions\":2"));
+        assert!(json.contains("\"kick\":1"));
+    }
+}

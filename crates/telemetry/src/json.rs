@@ -1,0 +1,244 @@
+//! Minimal deterministic JSON model and serializer.
+//!
+//! Object keys live in a `BTreeMap` and are always emitted in sorted
+//! order; numbers use Rust's shortest-roundtrip `Display`; strings are
+//! escaped per RFC 8259. There are no serializer options, so the byte
+//! output of [`Value::to_json`] is a pure function of the value — the
+//! property the CI regression gate depends on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (counters, micros, bucket counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Finite float; NaN and infinities serialize as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with sorted keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// Inserts `key` into an object value. Panics if `self` is not an
+    /// object (a programming error in report assembly, not a data error).
+    pub fn insert(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        match self {
+            Value::Object(map) => {
+                map.insert(key.to_string(), value.into());
+            }
+            other => panic!("Value::insert on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks a key up in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization (no whitespace), deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization (2-space indent), deterministic. Used for
+    /// `--report-json` files so baseline diffs are line-oriented and
+    /// human-readable.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_sorted() {
+        let mut v = Value::object();
+        v.insert("zeta", 1u64)
+            .insert("alpha", 2u64)
+            .insert("mid", 3u64);
+        assert_eq!(v.to_json(), r#"{"alpha":2,"mid":3,"zeta":1}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::Str("a\"b\\c\n\u{1}".into());
+        assert_eq!(v.to_json(), "\"a\\\"b\\\\c\\n\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::F64(f64::NAN).to_json(), "null");
+        assert_eq!(Value::F64(f64::INFINITY).to_json(), "null");
+        assert_eq!(Value::F64(1.5).to_json(), "1.5");
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let mut v = Value::object();
+        v.insert("b", Value::Array(vec![Value::U64(1), Value::Null]));
+        v.insert("a", Value::object());
+        assert_eq!(
+            v.to_json_pretty(),
+            "{\n  \"a\": {},\n  \"b\": [\n    1,\n    null\n  ]\n}\n"
+        );
+    }
+}

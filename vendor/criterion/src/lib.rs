@@ -1,0 +1,213 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the `criterion_group!`/`criterion_main!`/`bench_function`
+//! surface the bench crate uses, with two modes:
+//!
+//! - **`--test` (smoke) mode** — each benchmark body runs exactly once
+//!   and timing is skipped. This is what CI's bench-smoke job runs
+//!   (`cargo bench -p adapt-bench -- --test`) to keep bench code
+//!   compiling and executing without paying for measurement.
+//! - **measure mode** (default) — each benchmark is warmed up once and
+//!   then timed over `sample_size` batches, reporting the mean
+//!   wall-clock time per iteration. No statistics beyond the mean are
+//!   computed; this harness exists so `cargo bench` works offline, not
+//!   to replace criterion's analysis.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Harness CLI options (the subset cargo/CI pass).
+#[derive(Debug, Clone, Default)]
+pub struct CliOptions {
+    /// Run each benchmark once, untimed (`--test`).
+    pub test_mode: bool,
+    /// Substring filter on benchmark ids (first free argument).
+    pub filter: Option<String>,
+}
+
+impl CliOptions {
+    /// Parses `std::env::args`, ignoring flags this harness does not
+    /// implement (cargo passes `--bench`; criterion has many more).
+    pub fn from_args() -> Self {
+        let mut opts = CliOptions::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => opts.test_mode = true,
+                s if s.starts_with('-') => {}
+                s => {
+                    if opts.filter.is_none() {
+                        opts.filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        opts
+    }
+}
+
+/// Benchmark driver handed to group target functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches `Bencher::iter` runs in measure mode.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Applies harness CLI options (test mode, name filter).
+    pub fn configure_from(mut self, opts: &CliOptions) -> Self {
+        self.test_mode = opts.test_mode;
+        self.filter = opts.filter.clone();
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            mean_ns: None,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("Testing {id} ... ok");
+        } else if let Some(ns) = bencher.mean_ns {
+            println!("{id:<48} {:>14.1} ns/iter", ns);
+        } else {
+            println!("{id:<48} (no iterations)");
+        }
+        self
+    }
+}
+
+/// Runs the benchmark routine; passed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`. In `--test` mode it runs exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and per-batch iteration sizing: aim for batches of at
+        // least ~1ms so Instant overhead is negligible.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed().as_nanos().max(1) as u64;
+        let iters_per_batch = (1_000_000 / once).clamp(1, 1_000_000);
+        let mut total_ns: u128 = 0;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos();
+            total_iters += iters_per_batch;
+        }
+        self.mean_ns = Some(total_ns as f64 / total_iters as f64);
+    }
+}
+
+/// Declares a benchmark group; both the plain and `config =` forms of
+/// criterion's macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(opts: &$crate::CliOptions) {
+            let mut criterion = ($cfg).configure_from(opts);
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(opts: &$crate::CliOptions) {
+            let mut criterion = $crate::Criterion::default().configure_from(opts);
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let opts = $crate::CliOptions::from_args();
+            $( $group(&opts); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("shim/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+    }
+
+    criterion_group!(plain, target);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(3);
+        targets = target, target
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let opts = CliOptions {
+            test_mode: true,
+            filter: None,
+        };
+        plain(&opts);
+        configured(&opts);
+    }
+
+    #[test]
+    fn measure_mode_times() {
+        let mut criterion = Criterion::default().sample_size(2);
+        let mut runs = 0u64;
+        criterion.bench_function("shim/count", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let opts = CliOptions {
+            test_mode: true,
+            filter: Some("nomatch".into()),
+        };
+        plain(&opts); // prints nothing, must not panic
+    }
+}

@@ -1,0 +1,526 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`proptest!`] macro, range/tuple/`vec`/`option::weighted` strategies,
+//! `prop_map`/`prop_filter`, `prop_assert*`/`prop_assume`, and
+//! [`ProptestConfig::with_cases`]. Differences from real proptest, by
+//! design:
+//!
+//! - **No shrinking.** A failing case reports the exact generated input
+//!   (all inputs are `Debug`) and the deterministic seed; re-running
+//!   reproduces it as-is.
+//! - **Deterministic by default.** The per-test RNG is seeded from the
+//!   test's name, so CI failures are always locally reproducible.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Per-test deterministic RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        // Multiply-shift; bias is < 2^-64 per draw, irrelevant for
+        // property generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// How a test case resolved, from the body's point of view.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard the case, draw another.
+    Reject,
+    /// `prop_assert*!` failed: the property is violated.
+    Fail(String),
+}
+
+/// Result type the generated closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests.
+///
+/// Returns `None` when a `prop_filter` rejects the draw; the runner
+/// retries with fresh randomness.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl fmt::Display,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        let _ = whence;
+        Filter { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<T::Value> {
+        self.inner.sample(rng).and_then(|v| (self.f)(v).sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(self.start + rng.next_f64() * (self.end - self.start))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> Option<$ty> {
+                let span = (self.end as u64).saturating_sub(self.start as u64);
+                if span == 0 {
+                    return Some(self.start);
+                }
+                Some(self.start + rng.next_below(span) as $ty)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u64, usize, u32, u16, u8);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> Option<$ty> {
+                let span = (self.end as i128 - self.start as i128).max(0) as u64;
+                if span == 0 {
+                    return Some(self.start);
+                }
+                Some((self.start as i128 + rng.next_below(span) as i128) as $ty)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i64, isize, i32);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec` strategy: length uniform in `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.len.sample(rng)?;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// `Some` with probability `p`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> WeightedOption<S> {
+        WeightedOption { p, inner }
+    }
+
+    pub struct WeightedOption<S> {
+        p: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for WeightedOption<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+            if rng.next_f64() < self.p {
+                Some(Some(self.inner.sample(rng)?))
+            } else {
+                Some(None)
+            }
+        }
+    }
+}
+
+pub mod runner {
+    //! Drives the cases for one `proptest!`-generated test.
+
+    use super::{ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng};
+    use std::fmt::Debug;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `cases` random cases of `body` over values of `strategy`.
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first case whose
+    /// body returns [`TestCaseError::Fail`] or itself panics, printing
+    /// the generated input.
+    pub fn run<S>(
+        config: &ProptestConfig,
+        name: &str,
+        strategy: S,
+        mut body: impl FnMut(S::Value) -> TestCaseResult,
+    ) where
+        S: Strategy,
+        S::Value: Debug + Clone,
+    {
+        let mut rng = TestRng::new(fnv1a(name));
+        let mut executed = 0u32;
+        let mut draws = 0u64;
+        // Generous discard budget, as real proptest allows: filters and
+        // assumes may reject many draws per accepted case.
+        let max_draws = (config.cases as u64) * 64 + 1024;
+        while executed < config.cases {
+            draws += 1;
+            if draws > max_draws {
+                panic!(
+                    "proptest '{name}': too many rejected draws \
+                     ({executed}/{} cases after {draws} draws)",
+                    config.cases
+                );
+            }
+            let Some(input) = strategy.sample(&mut rng) else {
+                continue; // prop_filter rejected the draw
+            };
+            let shown = format!("{input:?}");
+            match body(input) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject) => {} // prop_assume discard
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {executed}: {msg}\n\
+                         input: {shown}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u64..10, ys in prop::collection::vec(0.0f64..1.0, 0..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ( $($strat,)+ );
+                $crate::runner::run(&config, stringify!($name), strategy, |( $($arg,)+ )| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5.0f64..5.0, z in 1usize..2) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5.0..5.0).contains(&y));
+            prop_assert_eq!(z, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u64..10, 0.0f64..1.0), 0..8),
+            o in prop::option::weighted(0.5, 0u64..3),
+            m in (0u64..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(v.len() < 8);
+            for (a, b) in &v {
+                prop_assert!(*a < 10);
+                prop_assert!((0.0..1.0).contains(b));
+            }
+            if let Some(x) = o {
+                prop_assert!(x < 3);
+            }
+            prop_assert_eq!(m % 2, 0);
+            prop_assume!(m != 4); // exercise the discard path
+            prop_assert_ne!(m, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::runner::run(
+            &ProptestConfig::with_cases(8),
+            "always_fails",
+            (0u64..4,),
+            |(_x,)| Err(TestCaseError::Fail("nope".into())),
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            crate::runner::run(
+                &ProptestConfig::with_cases(16),
+                "det",
+                (0u64..1000, 0.0f64..1.0),
+                |(x, y)| {
+                    out.push((x, y.to_bits()));
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(a, b);
+    }
+}

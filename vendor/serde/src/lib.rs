@@ -1,0 +1,17 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! In-tree code derives `Serialize`/`Deserialize` but never calls a
+//! serde serializer (machine-readable output goes through
+//! `adapt-telemetry`'s deterministic JSON writer). The traits are
+//! therefore blanket markers: every type satisfies them, and the
+//! derives (from the vendored `serde_derive`) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; satisfied by every type.
+pub trait SerializeMarker {}
+impl<T: ?Sized> SerializeMarker for T {}
+
+/// Marker counterpart of `serde::Deserialize`; satisfied by every type.
+pub trait DeserializeMarker {}
+impl<T: ?Sized> DeserializeMarker for T {}

@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model/config
+//! structs as forward-looking annotations, but nothing in-tree performs
+//! serde serialization (run reports use `adapt-telemetry`'s hand-rolled
+//! deterministic JSON writer instead, precisely so output is
+//! byte-stable). The vendored `serde` crate implements the traits as
+//! blanket markers, so these derives only need to exist and accept
+//! `#[serde(...)]` attributes — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
