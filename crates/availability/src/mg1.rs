@@ -92,6 +92,23 @@ impl Mg1 {
         Mg1::new(lambda, service_mean, 2.0 * service_mean * service_mean)
     }
 
+    /// Crate-internal constructor for exponential service from parameters
+    /// a caller has already validated (finite, positive). Public
+    /// construction goes through the checked constructors; this exists so
+    /// infallible conversions (e.g. [`TaskModel::queue`]) need no
+    /// `expect` on an error path that cannot occur.
+    ///
+    /// [`TaskModel::queue`]: crate::task_model::TaskModel::queue
+    pub(crate) fn exponential_from_validated(lambda: f64, service_mean: f64) -> Self {
+        debug_assert!(lambda.is_finite() && lambda > 0.0);
+        debug_assert!(service_mean.is_finite() && service_mean > 0.0);
+        Mg1 {
+            lambda,
+            service_mean,
+            service_second_moment: 2.0 * service_mean * service_mean,
+        }
+    }
+
     /// Convenience constructor for deterministic (M/D/1) service.
     ///
     /// # Errors

@@ -62,7 +62,14 @@ impl P2 {
                 requirement: "must be within (0, 1)",
             });
         }
-        Ok(P2 {
+        Ok(P2::for_valid(q))
+    }
+
+    /// Infallible constructor for a compile-time-known valid quantile
+    /// (used by [`TailSummary`], whose quantiles are fixed constants).
+    fn for_valid(q: f64) -> Self {
+        debug_assert!(q.is_finite() && 0.0 < q && q < 1.0);
+        P2 {
             q,
             heights: [0.0; 5],
             positions: [1.0, 2.0, 3.0, 4.0, 5.0],
@@ -70,7 +77,7 @@ impl P2 {
             increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
             count: 0,
             initial: Vec::with_capacity(5),
-        })
+        }
     }
 
     /// The quantile being estimated.
@@ -189,9 +196,9 @@ impl TailSummary {
     /// Creates an empty summary.
     pub fn new() -> Self {
         TailSummary {
-            p50: P2::new(0.5).expect("0.5 is a valid quantile"),
-            p90: P2::new(0.9).expect("0.9 is a valid quantile"),
-            p99: P2::new(0.99).expect("0.99 is a valid quantile"),
+            p50: P2::for_valid(0.5),
+            p90: P2::for_valid(0.9),
+            p99: P2::for_valid(0.99),
             max: f64::NEG_INFINITY,
             count: 0,
         }

@@ -211,15 +211,17 @@ impl TaskModel {
     /// The M/G/1 queue view of this host, assuming exponential recovery
     /// (what the emulated experiments inject).
     pub fn queue(&self) -> Mg1 {
-        Mg1::with_exponential_service(self.lambda, self.mu)
-            .expect("TaskModel invariants imply valid M/G/1 parameters")
+        // Constructor validated λ and μ, so no checked construction (and
+        // no unreachable error path) is needed here.
+        Mg1::exponential_from_validated(self.lambda, self.mu)
     }
 
     /// The naive availability weight `(1 − λμ)` used by the baseline
     /// policy of Section V-C.
     pub fn naive_availability(&self) -> Availability {
-        Availability::new(1.0 - self.lambda * self.mu)
-            .expect("TaskModel invariants imply finite availability")
+        // λμ < 1 by construction; the clamp keeps the newtype's [0, 1]
+        // contract explicit without an unreachable error path.
+        Availability((1.0 - self.lambda * self.mu).clamp(0.0, 1.0))
     }
 
     /// Monte-Carlo simulation of one task execution (the generative analog

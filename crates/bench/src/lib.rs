@@ -7,7 +7,7 @@
 //! measured bodies.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use adapt_dfs::cluster::{NodeAvailability, NodeSpec};
 use adapt_experiments::config::{EmulatedConfig, LargeScaleConfig};

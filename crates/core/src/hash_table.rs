@@ -193,14 +193,16 @@ impl PlacementHashTable {
         };
         let omega: f64 = chain.iter().map(weight).sum();
         let mut low = 0.0;
-        for e in chain {
+        // The final entry absorbs any floating-point shortfall in the
+        // cumulative weights, so `r1` close to 1 still resolves.
+        for (i, e) in chain.iter().enumerate() {
             let high = low + weight(e) / omega;
-            if r1 < high {
+            if r1 < high || i + 1 == chain.len() {
                 return e.node;
             }
             low = high;
         }
-        chain.last().expect("chain non-empty").node
+        unreachable!("lookup requires a non-empty chain (guaranteed by build)")
     }
 
     /// Draws one placement: uniform key, then chain resolution.

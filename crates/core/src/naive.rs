@@ -69,10 +69,9 @@ impl PlacementPolicy for NaivePolicy {
         eligible: &dyn Fn(NodeId) -> bool,
         rng: &mut dyn Rng,
     ) -> Option<NodeId> {
-        if self.weights.is_none() {
-            self.weights = Some(NaivePolicy::compute_weights(cluster));
-        }
-        let weights = self.weights.as_ref().expect("weights just ensured");
+        let weights = self
+            .weights
+            .get_or_insert_with(|| NaivePolicy::compute_weights(cluster));
         weighted_select(cluster, weights, eligible, rng)
     }
 }

@@ -88,10 +88,10 @@ impl AdaptPolicy {
     }
 
     fn ensure_rates(&mut self, cluster: &ClusterView) -> &NodeRates {
-        if self.rates.is_none() {
-            self.rates = Some(self.predictor.rates(cluster));
-        }
-        self.rates.as_ref().expect("rates just ensured")
+        // Disjoint field borrows keep this panic-free: no `expect` on an
+        // option this method just filled.
+        let predictor = &self.predictor;
+        self.rates.get_or_insert_with(|| predictor.rates(cluster))
     }
 }
 

@@ -85,13 +85,10 @@ pub fn rebalance_file(
 
     let mut session = vec![0usize; n];
     // Stored counts evolve as moves commit; start from live state.
-    let mut stored: Vec<usize> = (0..n)
-        .map(|i| {
-            namenode
-                .node_block_count(NodeId(i as u32))
-                .expect("node exists")
-        })
-        .collect();
+    let mut stored: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        stored.push(namenode.node_block_count(NodeId(i as u32))?);
+    }
 
     let mut report = RebalanceReport {
         blocks: num_blocks,

@@ -170,12 +170,16 @@ pub fn trim_over_replicated(namenode: &mut NameNode) -> Result<usize, DfsError> 
                     break;
                 }
                 // Drop a dead holder first, else the highest-id holder.
-                let victim = replicas
+                // (`replicas.len() > target >= 0`, so a victim always
+                // exists; an empty list simply ends the loop.)
+                let Some(victim) = replicas
                     .iter()
                     .copied()
                     .find(|&r| !namenode.is_alive(r).unwrap_or(true))
                     .or_else(|| replicas.iter().copied().max())
-                    .expect("over-replicated block has replicas");
+                else {
+                    break;
+                };
                 namenode.remove_replica(block, victim)?;
                 removed += 1;
             }

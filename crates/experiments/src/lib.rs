@@ -22,7 +22,7 @@
 //! records measured-vs-paper numbers for both scales.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;

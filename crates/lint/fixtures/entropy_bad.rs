@@ -1,0 +1,6 @@
+//! Known-bad fixture: draws OS entropy, so two runs differ.
+
+pub fn roll() -> u64 {
+    use rand::Rng;
+    rand::thread_rng().gen()
+}

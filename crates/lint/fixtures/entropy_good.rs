@@ -1,0 +1,8 @@
+//! Known-good fixture: all randomness derives from an explicit seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    StdRng::seed_from_u64(seed).gen()
+}

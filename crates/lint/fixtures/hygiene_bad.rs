@@ -1,0 +1,4 @@
+//! Known-bad fixture: a crate root carrying neither
+//! `#![forbid(unsafe_code)]` nor `#![deny(missing_docs)]`.
+
+pub fn noop() {}

@@ -1,0 +1,7 @@
+//! Known-good fixture: a crate root with both required inner attributes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Does nothing, but documents it.
+pub fn noop() {}

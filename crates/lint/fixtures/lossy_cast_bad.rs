@@ -1,0 +1,5 @@
+//! Known-bad fixture: unaudited `as` casts in a model crate.
+
+pub fn mean(total: u64, count: usize) -> f64 {
+    total as f64 / count as f64
+}

@@ -1,0 +1,8 @@
+//! Known-good fixture: lossless conversions only.
+
+pub fn mean(total: u32, count: u32) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    f64::from(total) / f64::from(count)
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: panics in library code of a robustness-scoped
+//! crate instead of returning the crate's typed error.
+
+pub fn pick(values: &[f64]) -> f64 {
+    let first = values.first().expect("values must be non-empty");
+    if first.is_nan() {
+        panic!("NaN input");
+    }
+    *first
+}

@@ -1,0 +1,25 @@
+//! Known-good fixture: failures surface as typed errors; `unwrap` in a
+//! `#[cfg(test)]` region is exempt.
+
+pub enum PickError {
+    Empty,
+    NotFinite,
+}
+
+pub fn pick(values: &[f64]) -> Result<f64, PickError> {
+    let first = values.first().ok_or(PickError::Empty)?;
+    if !first.is_finite() {
+        return Err(PickError::NotFinite);
+    }
+    Ok(*first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_first() {
+        assert_eq!(pick(&[1.0, 2.0]).ok().unwrap(), 1.0);
+    }
+}

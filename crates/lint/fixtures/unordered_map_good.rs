@@ -1,0 +1,11 @@
+//! Known-good fixture: ordered map keeps emission byte-stable.
+
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> BTreeMap<u32, usize> {
+    let mut map = BTreeMap::new();
+    for &k in keys {
+        *map.entry(k).or_insert(0) += 1;
+    }
+    map
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture: divides by the `1 - rho` busy-period denominator
+//! (paper equations (3)/(5)) with no stability guard anywhere in the
+//! file — at `rho = 1` the expression diverges.
+
+pub fn busy_period(mu: f64, rho: f64) -> f64 {
+    mu / (1.0 - rho)
+}

@@ -1,0 +1,13 @@
+//! Known-good fixture: the same denominator behind an explicit M/G/1
+//! stability check (`rho >= 1.0` rejects before the division).
+
+pub enum QueueError {
+    UnstableQueue { rho: f64 },
+}
+
+pub fn busy_period(mu: f64, rho: f64) -> Result<f64, QueueError> {
+    if rho >= 1.0 {
+        return Err(QueueError::UnstableQueue { rho });
+    }
+    Ok(mu / (1.0 - rho))
+}

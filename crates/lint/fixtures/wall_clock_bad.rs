@@ -1,0 +1,8 @@
+//! Known-bad fixture: reads wall-clock time on a report path.
+
+use std::time::Instant;
+
+pub fn elapsed_wall_seconds() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

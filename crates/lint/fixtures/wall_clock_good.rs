@@ -1,0 +1,5 @@
+//! Known-good fixture: time is simulated, never read from the OS.
+
+pub fn advance(sim_now: f64, dt: f64) -> f64 {
+    sim_now + dt
+}

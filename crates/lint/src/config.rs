@@ -1,0 +1,237 @@
+//! The `lint.toml` allowlist: a checked-in, per-rule, per-path budget of
+//! accepted findings.
+//!
+//! The format is a deliberately tiny TOML subset (parsed by hand — the
+//! workspace builds hermetically with no registry access):
+//!
+//! ```toml
+//! # comment
+//! [[allow]]
+//! rule = "numeric/lossy-cast"
+//! path = "crates/core/src/hash_table.rs"
+//! reason = "f64 weights from usize counts; values far below 2^53"
+//! ```
+//!
+//! Every entry must carry all three keys. Entries that match no finding
+//! are reported as `allowlist/stale` violations, so the allowlist can
+//! only shrink over time unless a new exemption is deliberately added.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowEntry {
+    /// The rule id the entry exempts (e.g. `robustness/no-panic`).
+    pub rule: String,
+    /// Workspace-relative path of the exempted file (forward slashes).
+    pub path: String,
+    /// Why the exemption is sound — forced, never defaulted.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header in `lint.toml`.
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Whether `(rule, path)` is exempted.
+    pub fn allows(&self, rule: &str, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && e.path == path)
+    }
+
+    /// Entries that exempted nothing in this run: `used` holds the
+    /// `(rule, path)` pairs that actually matched a finding.
+    pub fn stale<'a>(&'a self, used: &BTreeSet<(String, String)>) -> Vec<&'a AllowEntry> {
+        self.entries
+            .iter()
+            .filter(|e| !used.contains(&(e.rule.clone(), e.path.clone())))
+            .collect()
+    }
+}
+
+/// A `lint.toml` syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// An `[[allow]]` entry mid-parse: header seen, keys still arriving.
+struct PartialEntry {
+    line: u32,
+    rule: Option<String>,
+    path: Option<String>,
+    reason: Option<String>,
+}
+
+/// Validates a completed entry (all three keys present) and appends it.
+fn finish(
+    current: &mut Option<PartialEntry>,
+    entries: &mut Vec<AllowEntry>,
+) -> Result<(), ConfigError> {
+    if let Some(partial) = current.take() {
+        let missing = [
+            ("rule", partial.rule.is_none()),
+            ("path", partial.path.is_none()),
+            ("reason", partial.reason.is_none()),
+        ]
+        .iter()
+        .filter(|(_, m)| *m)
+        .map(|(k, _)| *k)
+        .collect::<Vec<_>>();
+        if !missing.is_empty() {
+            return Err(ConfigError {
+                line: partial.line,
+                message: format!("[[allow]] entry missing key(s): {}", missing.join(", ")),
+            });
+        }
+        entries.push(AllowEntry {
+            rule: partial.rule.unwrap_or_default(),
+            path: partial.path.unwrap_or_default(),
+            reason: partial.reason.unwrap_or_default(),
+            line: partial.line,
+        });
+    }
+    Ok(())
+}
+
+/// Parses the `lint.toml` allowlist format.
+pub fn parse(source: &str) -> Result<Allowlist, ConfigError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<PartialEntry> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut current, &mut entries)?;
+            current = Some(PartialEntry {
+                line: lineno,
+                rule: None,
+                path: None,
+                reason: None,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unknown section `{line}` (only [[allow]] is supported)"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("value for `{key}` must be a double-quoted string"),
+            });
+        };
+        let Some(partial) = current.as_mut() else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("`{key}` outside an [[allow]] entry"),
+            });
+        };
+        let slot = match key {
+            "rule" => &mut partial.rule,
+            "path" => &mut partial.path,
+            "reason" => &mut partial.reason,
+            other => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` (expected rule/path/reason)"),
+                });
+            }
+        };
+        if slot.is_some() {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("duplicate key `{key}` in [[allow]] entry"),
+            });
+        }
+        *slot = Some(value.to_string());
+    }
+    finish(&mut current, &mut entries)?;
+    Ok(Allowlist { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let src = r#"
+# workspace allowlist
+[[allow]]
+rule = "numeric/lossy-cast"
+path = "crates/core/src/hash_table.rs"
+reason = "audited"
+
+[[allow]]
+rule = "robustness/no-panic"
+path = "crates/sim/src/engine.rs"
+reason = "also audited"
+"#;
+        let list = parse(src).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert!(list.allows("numeric/lossy-cast", "crates/core/src/hash_table.rs"));
+        assert!(!list.allows("numeric/lossy-cast", "crates/sim/src/engine.rs"));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let src = "[[allow]]\nrule = \"x\"\npath = \"y\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn keys_outside_entry_are_rejected() {
+        let err = parse("rule = \"x\"\n").unwrap_err();
+        assert!(err.message.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn stale_detection() {
+        let src = "[[allow]]\nrule = \"a\"\npath = \"p\"\nreason = \"r\"\n";
+        let list = parse(src).unwrap();
+        let mut used = BTreeSet::new();
+        assert_eq!(list.stale(&used).len(), 1);
+        used.insert(("a".to_string(), "p".to_string()));
+        assert!(list.stale(&used).is_empty());
+    }
+
+    #[test]
+    fn empty_config_is_valid() {
+        assert!(parse("# nothing here\n").unwrap().entries.is_empty());
+    }
+}

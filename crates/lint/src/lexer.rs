@@ -1,0 +1,484 @@
+//! A small hand-rolled Rust token scanner.
+//!
+//! The lint rules only need a *token stream* that is reliably free of
+//! comment and string-literal text — a full parse is unnecessary. This
+//! lexer understands exactly the constructs that would otherwise cause
+//! false positives:
+//!
+//! * line comments (`//`, `///`, `//!`) — doc comments included, so code
+//!   inside doc-test fences never trips a rule;
+//! * nested block comments (`/* /* */ */`);
+//! * string literals with escapes, raw strings with any `#` count, byte
+//!   and byte-raw strings;
+//! * char literals versus lifetimes (`'a'` versus `'a`);
+//! * numeric literals (so `1.0` arrives as one token and `0..n` is not
+//!   mis-lexed as a malformed float).
+//!
+//! Everything else is emitted as single-character punctuation tokens.
+//! The scanner never fails: unterminated constructs simply consume the
+//! rest of the file, which is the forgiving behaviour a lint driver
+//! wants (rustc will reject the file anyway).
+
+/// The classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `as`, `unsafe_code`).
+    Ident,
+    /// A numeric literal (`42`, `1.0`, `0xff`, `1e-9`).
+    Number,
+    /// A lifetime (`'a`) — emitted so attribute windows stay aligned.
+    Lifetime,
+    /// A single punctuation character (`.`, `(`, `#`, `/`, …).
+    Punct(char),
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Token<'src> {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's text (for `Punct` this is the single character).
+    pub text: &'src str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether the token is an identifier equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenizes `source`, skipping comments and string/char literal bodies.
+pub fn tokenize(source: &str) -> Vec<Token<'_>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token<'src>>,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(src: &'src str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Token<'src>> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'"' => self.skip_string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.is_raw_or_byte_string() => self.skip_raw_or_byte_string(),
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_ascii_whitespace() => self.bump(),
+                _ => self.punct(),
+            }
+        }
+        self.tokens
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.bump_n(2); // consume `/*`
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if c == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn skip_string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` (char literal) from `'a` (lifetime). A quote
+    /// followed by an identifier character is a lifetime unless the
+    /// character after that closes the literal (`'x'`).
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let next = self.peek(1);
+        let is_lifetime = matches!(next, Some(c) if c.is_ascii_alphabetic() || c == b'_')
+            && self.peek(2) != Some(b'\'');
+        if is_lifetime {
+            self.bump(); // `'`
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            self.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: &self.src[start..self.pos],
+                line,
+            });
+            return;
+        }
+        // Char literal: consume to the closing quote, honouring escapes.
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Detects `r"`, `r#`, `b"`, `b'`, `br"`, `br#` at the cursor. A bare
+    /// `r` or `b` identifier (e.g. a variable named `r`) falls through to
+    /// normal identifier lexing.
+    fn is_raw_or_byte_string(&self) -> bool {
+        let (mut i, first) = (1usize, self.peek(0).unwrap_or(0));
+        if first == b'b' && self.peek(1) == Some(b'r') {
+            i = 2;
+        }
+        match self.peek(i) {
+            Some(b'"') | Some(b'#') => {
+                // `r#ident` (raw identifier) is not a string: require the
+                // `#` run to terminate in a quote.
+                let mut j = i;
+                while self.peek(j) == Some(b'#') {
+                    j += 1;
+                }
+                self.peek(j) == Some(b'"')
+            }
+            Some(b'\'') => first == b'b', // byte char literal `b'x'`
+            _ => false,
+        }
+    }
+
+    fn skip_raw_or_byte_string(&mut self) {
+        // Skip the `r` / `b` / `br` prefix.
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
+            self.bump_n(2);
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'\'') {
+            // Byte char literal.
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                match c {
+                    b'\\' => self.bump_n(2),
+                    b'\'' => {
+                        self.bump();
+                        return;
+                    }
+                    _ => self.bump(),
+                }
+            }
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        if hashes == 0 {
+            // `r"..."`: no escapes, ends at the first quote.
+            while let Some(c) = self.peek(0) {
+                self.bump();
+                if c == b'"' {
+                    return;
+                }
+            }
+            return;
+        }
+        // `r#"..."#`: ends at `"` followed by `hashes` hash marks.
+        while let Some(c) = self.peek(0) {
+            if c == b'"' && (1..=hashes).all(|k| self.peek(k) == Some(b'#')) {
+                self.bump_n(1 + hashes);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Ident,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        // A fractional part only if `.` is followed by a digit — keeps
+        // `0..n` as Number(`0`) Punct(`.`) Punct(`.`) Ident(`n`).
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            // Exponent sign (`1e-9`): the `e`/`E` was consumed above.
+            if matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                && matches!(
+                    self.src[start..self.pos].bytes().last(),
+                    Some(b'e') | Some(b'E')
+                )
+            {
+                self.bump();
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        } else if matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && matches!(
+                self.src[start..self.pos].bytes().last(),
+                Some(b'e') | Some(b'E')
+            )
+            && self.src[start..self.pos]
+                .bytes()
+                .any(|b| b.is_ascii_digit())
+        {
+            // `1e-9` without a dot.
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Number,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        // Multi-byte UTF-8 punctuation (e.g. `λ` cannot appear outside
+        // comments in valid Rust, but be safe): consume the full char.
+        let ch_len = self.src[start..].chars().next().map_or(1, char::len_utf8);
+        self.bump_n(ch_len);
+        let ch = self.src[start..start + ch_len]
+            .chars()
+            .next()
+            .unwrap_or(' ');
+        self.tokens.push(Token {
+            kind: TokenKind::Punct(ch),
+            text: &self.src[start..start + ch_len],
+            line,
+        });
+    }
+}
+
+/// Marks which tokens fall inside test-only code: any item annotated
+/// `#[cfg(test)]` or `#[test]` (the annotated item's braces, or up to the
+/// terminating `;` for brace-less items). Returns one flag per token.
+pub fn test_region_mask(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_len) = test_attribute_len(&tokens[i..]) {
+            // Mark the attribute itself plus the annotated item.
+            let item_start = i + attr_len;
+            let mut j = item_start;
+            let mut depth = 0usize;
+            let mut entered = false;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokenKind::Punct('{') => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    TokenKind::Punct('}') => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Punct(';') if !entered => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = (j + 1).min(tokens.len());
+            for flag in &mut mask[i..end] {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `tokens` starts with `#[cfg(test)]` or `#[test]`, returns the
+/// attribute's token length.
+fn test_attribute_len(tokens: &[Token<'_>]) -> Option<usize> {
+    if !(tokens.first()?.is_punct('#') && tokens.get(1)?.is_punct('[')) {
+        return None;
+    }
+    if tokens.get(2)?.is_ident("test") && tokens.get(3)?.is_punct(']') {
+        return Some(4);
+    }
+    if tokens.get(2)?.is_ident("cfg")
+        && tokens.get(3)?.is_punct('(')
+        && tokens.get(4)?.is_ident("test")
+        && tokens.get(5)?.is_punct(')')
+        && tokens.get(6)?.is_punct(']')
+    {
+        return Some(7);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_skipped() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* a nested */ block */
+            let x = "thread_rng inside a string";
+            let y = r#"SystemTime in a raw string"#;
+            let z = 'a';
+            fn real_ident() {}
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for forbidden in ["HashMap", "Instant", "thread_rng", "SystemTime"] {
+            assert!(!ids.contains(&forbidden.to_string()), "{forbidden} leaked");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn numbers_lex_as_single_tokens() {
+        let toks = tokenize("let a = 1.0 - 0.5e-3; for i in 0..n {}");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, ["1.0", "0.5e-3", "0"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<(String, u32)> = toks.iter().map(|t| (t.text.to_string(), t.line)).collect();
+        assert_eq!(lines, [("a".into(), 1), ("b".into(), 2), ("c".into(), 4)]);
+    }
+
+    #[test]
+    fn test_region_mask_covers_cfg_test_module() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn lib2() {}";
+        let toks = tokenize(src);
+        let mask = test_region_mask(&toks);
+        for (t, &m) in toks.iter().zip(&mask) {
+            if t.is_ident("unwrap") {
+                assert!(m, "unwrap inside tests must be masked");
+            }
+            if t.is_ident("lib") || t.is_ident("lib2") {
+                assert!(!m, "library code must not be masked");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let toks = tokenize("let r#type = 1; let r = 2; let b = 3;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert!(toks.iter().any(|t| t.is_ident("r")));
+        assert!(toks.iter().any(|t| t.is_ident("b")));
+    }
+}

@@ -1,0 +1,93 @@
+//! Workspace static analysis for the ADAPT reproduction.
+//!
+//! The evaluation pipeline depends on byte-stable deterministic run
+//! reports (the CI telemetry gate byte-diffs
+//! `results/ci-baseline-report.json`), and the model crates implement
+//! the paper's equations (2)–(5), which diverge at the M/G/1 stability
+//! boundary `λμ = 1`. Nothing in the compiler enforces either property —
+//! a future change can reintroduce wall-clock time, OS entropy,
+//! unordered-map iteration, or an unguarded `1/(1 − λμ)` and every test
+//! would still pass while results silently drift.
+//!
+//! `adapt-lint` closes that gap mechanically. It is a self-contained
+//! static-analysis driver (no syn/quote/proc-macro — the workspace
+//! builds hermetically with no registry access) built from:
+//!
+//! * [`lexer`] — a comment/string/attribute-aware Rust token scanner;
+//! * [`rules`] — the rule set: determinism, robustness, numeric-safety,
+//!   and hygiene families;
+//! * [`config`] — the checked-in `lint.toml` per-rule, per-path
+//!   allowlist (stale entries are themselves violations);
+//! * [`walk`] — deterministic discovery of `crates/*/src/**/*.rs`;
+//! * [`report`] — allowlist matching and the sorted-key JSON findings
+//!   artifact (reusing `adapt-telemetry`'s deterministic serializer).
+//!
+//! The `adapt-lint` binary exits nonzero on any non-allowlisted finding
+//! and runs as its own CI job. See `DESIGN.md` ("Static analysis") for
+//! the rule catalogue and the determinism invariants it protects.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use report::LintReport;
+use rules::FileContext;
+
+/// Runs the full lint pass over the workspace rooted at `root`, using
+/// the allowlist at `root/lint.toml` (an absent file means an empty
+/// allowlist).
+///
+/// # Errors
+///
+/// Returns an error for I/O failures or a malformed `lint.toml`; rule
+/// violations are *not* errors — inspect the returned report.
+pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let allowlist = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => config::parse(&text).map_err(LintError::Config)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => config::Allowlist::default(),
+        Err(e) => return Err(LintError::Io(e)),
+    };
+    let files = walk::discover(root).map_err(LintError::Io)?;
+    let mut raw = Vec::new();
+    for file in &files {
+        let source = fs::read_to_string(&file.abs_path).map_err(LintError::Io)?;
+        raw.extend(rules::scan_file(
+            FileContext {
+                path: &file.rel_path,
+                crate_name: &file.crate_name,
+                is_crate_root: file.is_crate_root,
+            },
+            &source,
+        ));
+    }
+    Ok(LintReport::build(raw, &allowlist, files.len()))
+}
+
+/// Driver-level failures (I/O and configuration, not rule violations).
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem access failed.
+    Io(io::Error),
+    /// `lint.toml` is malformed.
+    Config(config::ConfigError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(e) => write!(f, "i/o error: {e}"),
+            LintError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}

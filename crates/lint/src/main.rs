@@ -1,0 +1,98 @@
+//! The `adapt-lint` CLI driver.
+//!
+//! Usage: `adapt-lint [--root DIR] [--json PATH] [--quiet]`
+//!
+//! * `--root DIR` — workspace root (default: nearest ancestor of the
+//!   current directory containing `crates/`, falling back to `.`);
+//! * `--json PATH` — also write the deterministic findings report;
+//! * `--quiet` — suppress per-finding lines (summary only).
+//!
+//! Exit status: `0` when clean (allowlisted findings permitted), `1` on
+//! any non-allowlisted violation, `2` on driver errors (I/O, bad
+//! `lint.toml`, bad usage).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root requires a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json requires a path"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: adapt-lint [--root DIR] [--json PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let report = match adapt_lint::run_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("adapt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json_pretty()) {
+            eprintln!("adapt-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !quiet {
+        for f in &report.findings {
+            let status = if f.allowlisted { "allow" } else { "DENY " };
+            println!("{status} {}:{} [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+    }
+    let violations = report.violation_count();
+    let allowlisted = report.findings.len() - violations;
+    println!(
+        "adapt-lint: {} files scanned, {violations} violation(s), {allowlisted} allowlisted",
+        report.files_scanned
+    );
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The nearest ancestor (of the current directory) containing `crates/`,
+/// so `cargo run -p adapt-lint` works from anywhere in the workspace.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("adapt-lint: {message}");
+    eprintln!("usage: adapt-lint [--root DIR] [--json PATH] [--quiet]");
+    ExitCode::from(2)
+}

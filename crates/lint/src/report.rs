@@ -1,0 +1,199 @@
+//! Findings report: allowlist matching and deterministic JSON emission.
+//!
+//! The JSON reuses `adapt-telemetry`'s sorted-key [`Value`] model, so the
+//! findings artifact is byte-stable for identical inputs — the same
+//! property the telemetry regression gate relies on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use adapt_telemetry::json::Value;
+
+use crate::config::Allowlist;
+use crate::rules::{id, RawFinding};
+
+/// One finding after allowlist matching.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: u32,
+    /// Rule id.
+    pub rule: String,
+    /// Description.
+    pub message: String,
+    /// Whether a `lint.toml` entry exempts this finding.
+    pub allowlisted: bool,
+}
+
+/// The complete result of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Every finding, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Builds the report: matches raw findings against the allowlist and
+    /// appends one `allowlist/stale` violation per unused entry.
+    pub fn build(raw: Vec<RawFinding>, allowlist: &Allowlist, files_scanned: usize) -> Self {
+        let mut used: BTreeSet<(String, String)> = BTreeSet::new();
+        let mut findings: Vec<Finding> = raw
+            .into_iter()
+            .map(|f| {
+                let allowlisted = allowlist.allows(f.rule, &f.path);
+                if allowlisted {
+                    used.insert((f.rule.to_string(), f.path.clone()));
+                }
+                Finding {
+                    path: f.path,
+                    line: f.line,
+                    rule: f.rule.to_string(),
+                    message: f.message,
+                    allowlisted,
+                }
+            })
+            .collect();
+        for stale in allowlist.stale(&used) {
+            findings.push(Finding {
+                path: "lint.toml".to_string(),
+                line: stale.line,
+                rule: id::STALE_ALLOW.to_string(),
+                message: format!(
+                    "allowlist entry (rule `{}`, path `{}`) matched no finding; remove it",
+                    stale.rule, stale.path
+                ),
+                allowlisted: false,
+            });
+        }
+        findings.sort();
+        LintReport {
+            findings,
+            files_scanned,
+        }
+    }
+
+    /// Findings not covered by the allowlist (these fail the run).
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowlisted)
+    }
+
+    /// Number of non-allowlisted findings.
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+
+    /// The deterministic JSON document for the findings artifact.
+    pub fn to_value(&self) -> Value {
+        let mut per_rule: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut items = Vec::with_capacity(self.findings.len());
+        for f in &self.findings {
+            let slot = per_rule.entry(f.rule.clone()).or_insert((0, 0));
+            if f.allowlisted {
+                slot.1 += 1;
+            } else {
+                slot.0 += 1;
+            }
+            let mut item = Value::object();
+            item.insert("allowlisted", f.allowlisted)
+                .insert("line", u64::from(f.line))
+                .insert("message", f.message.as_str())
+                .insert("path", f.path.as_str())
+                .insert("rule", f.rule.as_str());
+            items.push(item);
+        }
+
+        let mut rules = Value::object();
+        for (rule, (violations, allowlisted)) in &per_rule {
+            let mut counts = Value::object();
+            counts
+                .insert("allowlisted", *allowlisted)
+                .insert("violations", *violations);
+            rules.insert(rule, counts);
+        }
+
+        let mut summary = Value::object();
+        summary
+            .insert(
+                "allowlisted",
+                self.findings.iter().filter(|f| f.allowlisted).count(),
+            )
+            .insert("files_scanned", self.files_scanned)
+            .insert("violations", self.violation_count());
+
+        let mut root = Value::object();
+        root.insert("findings", Value::Array(items))
+            .insert("rules", rules)
+            .insert("schema_version", 1u64)
+            .insert("summary", summary)
+            .insert("tool", "adapt-lint");
+        root
+    }
+
+    /// The pretty JSON artifact text.
+    pub fn to_json_pretty(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+
+    fn raw(rule: &'static str, path: &str, line: u32) -> RawFinding {
+        RawFinding {
+            path: path.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn allowlisted_findings_do_not_fail_the_run() {
+        let allow = config::parse(
+            "[[allow]]\nrule = \"numeric/lossy-cast\"\npath = \"crates/core/src/x.rs\"\nreason = \"audited\"\n",
+        )
+        .unwrap();
+        let report = LintReport::build(
+            vec![raw(id::LOSSY_CAST, "crates/core/src/x.rs", 3)],
+            &allow,
+            1,
+        );
+        assert_eq!(report.violation_count(), 0);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].allowlisted);
+    }
+
+    #[test]
+    fn stale_allow_entries_are_violations() {
+        let allow = config::parse(
+            "[[allow]]\nrule = \"numeric/lossy-cast\"\npath = \"crates/core/src/gone.rs\"\nreason = \"stale\"\n",
+        )
+        .unwrap();
+        let report = LintReport::build(Vec::new(), &allow, 0);
+        assert_eq!(report.violation_count(), 1);
+        assert_eq!(report.findings[0].rule, id::STALE_ALLOW);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let report = LintReport::build(
+            vec![
+                raw(id::NO_PANIC, "crates/sim/src/b.rs", 9),
+                raw(id::NO_PANIC, "crates/sim/src/a.rs", 2),
+            ],
+            &Allowlist::default(),
+            2,
+        );
+        let a = report.to_json_pretty();
+        let b = report.to_json_pretty();
+        assert_eq!(a, b);
+        let first = a.find("crates/sim/src/a.rs").unwrap();
+        let second = a.find("crates/sim/src/b.rs").unwrap();
+        assert!(first < second, "findings must be path-sorted");
+    }
+}

@@ -1,0 +1,439 @@
+//! The lint rule set.
+//!
+//! Four families, mirroring the invariants the evaluation pipeline
+//! depends on (see `DESIGN.md`, "Static analysis"):
+//!
+//! * **determinism** — the CI telemetry gate byte-diffs run reports, so
+//!   nothing on a report path may read wall-clock time, draw OS entropy,
+//!   or iterate an unordered map. These rules apply to *every* crate and
+//!   their allowlist must stay empty.
+//! * **robustness** — library code of the model/substrate crates
+//!   (`availability`, `core`, `dfs`, `sim`) must surface failures as
+//!   typed errors, not `unwrap()`/`expect()`/`panic!`. Test code
+//!   (`#[cfg(test)]`/`#[test]`) is exempt.
+//! * **numeric** — the model crates implement the paper's equations
+//!   (2)–(5); lossy `as` casts are flagged for audit, and any division
+//!   by a `1 − ρ`-shaped denominator must sit in a file that checks the
+//!   M/G/1 stability condition `λμ < 1` (equations (3) and (5) diverge
+//!   at `ρ = 1`).
+//! * **hygiene** — every crate root must carry `#![forbid(unsafe_code)]`
+//!   and `#![deny(missing_docs)]`.
+
+use crate::lexer::{test_region_mask, tokenize, Token, TokenKind};
+
+/// Rule ids, as they appear in findings and `lint.toml`.
+pub mod id {
+    /// `std::time::{Instant, SystemTime}` on a report path.
+    pub const WALL_CLOCK: &str = "determinism/wall-clock";
+    /// OS entropy (`thread_rng`, `from_entropy`, `OsRng`).
+    pub const ENTROPY: &str = "determinism/entropy";
+    /// `HashMap`/`HashSet` (unordered iteration) on a report path.
+    pub const UNORDERED_MAP: &str = "determinism/unordered-map";
+    /// `unwrap()`/`expect()`/`panic!`-family in library code.
+    pub const NO_PANIC: &str = "robustness/no-panic";
+    /// `as` numeric casts in the model crates.
+    pub const LOSSY_CAST: &str = "numeric/lossy-cast";
+    /// Division by a `1 − ρ` denominator without a stability guard.
+    pub const UNSTABLE_DENOMINATOR: &str = "numeric/unstable-denominator";
+    /// Missing `#![forbid(unsafe_code)]` in a crate root.
+    pub const FORBID_UNSAFE: &str = "hygiene/forbid-unsafe";
+    /// Missing `#![deny(missing_docs)]` in a crate root.
+    pub const DENY_MISSING_DOCS: &str = "hygiene/deny-missing-docs";
+    /// An allowlist entry that matched nothing (reported by the driver).
+    pub const STALE_ALLOW: &str = "allowlist/stale";
+}
+
+/// Crates whose *library* code must be panic-free.
+pub const ROBUSTNESS_CRATES: [&str; 4] = ["availability", "core", "dfs", "sim"];
+
+/// Crates implementing the paper's numeric model (equations (2)–(5)).
+pub const NUMERIC_CRATES: [&str; 2] = ["availability", "core"];
+
+/// All rule ids a finding can carry, for documentation and the report's
+/// per-rule counters. Sorted.
+pub const ALL_RULES: [&str; 9] = [
+    id::STALE_ALLOW,
+    id::ENTROPY,
+    id::UNORDERED_MAP,
+    id::WALL_CLOCK,
+    id::DENY_MISSING_DOCS,
+    id::FORBID_UNSAFE,
+    id::LOSSY_CAST,
+    id::UNSTABLE_DENOMINATOR,
+    id::NO_PANIC,
+];
+
+/// One raw finding (not yet matched against the allowlist).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RawFinding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: u32,
+    /// Rule id.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Context the rules need about the file being scanned.
+#[derive(Debug, Clone, Copy)]
+pub struct FileContext<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// The crate's directory name under `crates/` (e.g. `sim`).
+    pub crate_name: &'a str,
+    /// Whether this file is the crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+/// Scans one file and returns every rule violation found in it.
+pub fn scan_file(ctx: FileContext<'_>, source: &str) -> Vec<RawFinding> {
+    let tokens = tokenize(source);
+    let in_test = test_region_mask(&tokens);
+    let mut findings = Vec::new();
+
+    determinism_rules(&ctx, &tokens, &mut findings);
+    if ROBUSTNESS_CRATES.contains(&ctx.crate_name) {
+        robustness_rules(&ctx, &tokens, &in_test, &mut findings);
+    }
+    if NUMERIC_CRATES.contains(&ctx.crate_name) {
+        numeric_rules(&ctx, &tokens, &in_test, &mut findings);
+    }
+    if ctx.is_crate_root {
+        hygiene_rules(&ctx, &tokens, &mut findings);
+    }
+
+    findings.sort();
+    findings
+}
+
+fn push(
+    findings: &mut Vec<RawFinding>,
+    ctx: &FileContext<'_>,
+    line: u32,
+    rule: &'static str,
+    message: String,
+) {
+    findings.push(RawFinding {
+        path: ctx.path.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+/// Determinism: wall-clock, entropy, unordered maps — anywhere,
+/// including tests (a nondeterministic test is still a flaky test).
+fn determinism_rules(ctx: &FileContext<'_>, tokens: &[Token<'_>], out: &mut Vec<RawFinding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text {
+            "Instant" | "SystemTime" => push(
+                out,
+                ctx,
+                t.line,
+                id::WALL_CLOCK,
+                format!(
+                    "`{}` reads wall-clock time; report paths must use simulated \
+                     time or `adapt-telemetry` counters",
+                    t.text
+                ),
+            ),
+            // `std :: time` as a path (covers `use std::time::…`).
+            "time" if is_path_segment_of(tokens, i, "std") => push(
+                out,
+                ctx,
+                t.line,
+                id::WALL_CLOCK,
+                "`std::time` is wall-clock; report paths must be deterministic".to_string(),
+            ),
+            "thread_rng" | "from_entropy" | "OsRng" => push(
+                out,
+                ctx,
+                t.line,
+                id::ENTROPY,
+                format!(
+                    "`{}` draws OS entropy; all randomness must derive from an \
+                     explicit seed (`StdRng::seed_from_u64`)",
+                    t.text
+                ),
+            ),
+            "HashMap" | "HashSet" => push(
+                out,
+                ctx,
+                t.line,
+                id::UNORDERED_MAP,
+                format!(
+                    "`{}` iterates in unspecified order; use `BTreeMap`/`BTreeSet` \
+                     (or sort keys before emission) so reports stay byte-stable",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Whether token `i` is the segment after `prefix::` (e.g. `std::time`).
+fn is_path_segment_of(tokens: &[Token<'_>], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && tokens[i - 1].is_punct(':')
+        && tokens[i - 2].is_punct(':')
+        && tokens[i - 3].is_ident(prefix)
+}
+
+/// Robustness: no `unwrap()`/`expect(…)`/`panic!`/`unimplemented!`/
+/// `todo!` outside test regions.
+fn robustness_rules(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<RawFinding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |c: char| tokens.get(i + 1).is_some_and(|n| n.is_punct(c));
+        match t.text {
+            // `.unwrap()` / `.expect(` — require the method-call shape so
+            // identifiers like `unwrap_or_default` or a field named
+            // `expect` don't trip the rule.
+            "unwrap" | "expect" if i > 0 && tokens[i - 1].is_punct('.') && next_is('(') => push(
+                out,
+                ctx,
+                t.line,
+                id::NO_PANIC,
+                format!(
+                    "`.{}()` in library code; return the crate's typed error instead",
+                    t.text
+                ),
+            ),
+            "panic" | "unimplemented" | "todo" if next_is('!') => push(
+                out,
+                ctx,
+                t.line,
+                id::NO_PANIC,
+                format!(
+                    "`{}!` in library code; return the crate's typed error instead",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Numeric-safety rules for the model crates.
+fn numeric_rules(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<RawFinding>,
+) {
+    const NUMERIC_TYPES: [&str; 14] = [
+        "f32", "f64", "i128", "i16", "i32", "i64", "i8", "isize", "u128", "u16", "u32", "u64",
+        "u8", "usize",
+    ];
+    // A file dividing by a `1 − ρ` denominator must name the stability
+    // condition somewhere: the typed error, the predicate, or an explicit
+    // `ρ ≥ 1` comparison (`>=` lexes as `>` `=`).
+    let has_stability_guard = tokens.windows(3).any(|w| {
+        w[0].is_ident("UnstableQueue")
+            || w[0].is_ident("is_stable")
+            || (w[0].is_punct('>') && w[1].is_punct('=') && w[2].text == "1.0")
+    });
+
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        // `expr as <numeric>` — lossy float↔int (and narrowing) casts.
+        if t.is_ident("as")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident && NUMERIC_TYPES.contains(&n.text))
+        {
+            // `use x as y` aliasing never has a numeric type on the right,
+            // so reaching here means a cast expression.
+            push(
+                out,
+                ctx,
+                t.line,
+                id::LOSSY_CAST,
+                format!(
+                    "`as {}` cast in a model crate; audit for precision/truncation \
+                     loss and allowlist deliberate casts",
+                    tokens[i + 1].text
+                ),
+            );
+        }
+        // `/ (1.0 - …)` — the equation (3)/(5) busy-period denominator.
+        if t.is_punct('/')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|n| n.text == "1.0")
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('-'))
+            && !has_stability_guard
+        {
+            push(
+                out,
+                ctx,
+                t.line,
+                id::UNSTABLE_DENOMINATOR,
+                "division by a `1 - rho`-shaped denominator without an M/G/1 \
+                 stability guard in this file; check `lambda * mu < 1` \
+                 (equations (3)/(5) diverge at rho = 1)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Hygiene: crate roots must forbid `unsafe` and deny missing docs.
+fn hygiene_rules(ctx: &FileContext<'_>, tokens: &[Token<'_>], out: &mut Vec<RawFinding>) {
+    if !has_inner_attribute(tokens, "forbid", "unsafe_code") {
+        push(
+            out,
+            ctx,
+            0,
+            id::FORBID_UNSAFE,
+            "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+    if !has_inner_attribute(tokens, "deny", "missing_docs") {
+        push(
+            out,
+            ctx,
+            0,
+            id::DENY_MISSING_DOCS,
+            "crate root lacks `#![deny(missing_docs)]`".to_string(),
+        );
+    }
+}
+
+/// Matches `#![<level>(<lint>)]` anywhere in the token stream.
+fn has_inner_attribute(tokens: &[Token<'_>], level: &str, lint: &str) -> bool {
+    tokens.windows(7).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(level)
+            && w[4].is_punct('(')
+            && w[5].is_ident(lint)
+            && w[6].is_punct(')')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileContext<'static> {
+        FileContext {
+            path: "crates/core/src/x.rs",
+            crate_name: "core",
+            is_crate_root: false,
+        }
+    }
+
+    fn rules_hit(ctx: FileContext<'_>, src: &str) -> Vec<&'static str> {
+        scan_file(ctx, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_fires_on_instant() {
+        assert!(rules_hit(ctx(), "fn f() { let t = Instant::now(); }").contains(&id::WALL_CLOCK));
+        assert!(rules_hit(ctx(), "use std::time::Duration;").contains(&id::WALL_CLOCK));
+    }
+
+    #[test]
+    fn entropy_fires_on_thread_rng() {
+        assert!(
+            rules_hit(ctx(), "fn f() { let mut r = rand::thread_rng(); }").contains(&id::ENTROPY)
+        );
+    }
+
+    #[test]
+    fn unordered_map_fires() {
+        assert!(rules_hit(ctx(), "use std::collections::HashMap;").contains(&id::UNORDERED_MAP));
+    }
+
+    #[test]
+    fn no_panic_fires_only_outside_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(rules_hit(ctx(), src).contains(&id::NO_PANIC));
+        let test_src = "#[cfg(test)]\nmod tests { fn f(x: Option<u32>) -> u32 { x.unwrap() } }";
+        assert!(!rules_hit(ctx(), test_src).contains(&id::NO_PANIC));
+    }
+
+    #[test]
+    fn no_panic_ignores_unwrap_or_default() {
+        assert!(!rules_hit(
+            ctx(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }"
+        )
+        .contains(&id::NO_PANIC));
+    }
+
+    #[test]
+    fn robustness_scope_excludes_experiments() {
+        let exp = FileContext {
+            path: "crates/experiments/src/x.rs",
+            crate_name: "experiments",
+            is_crate_root: false,
+        };
+        assert!(
+            !rules_hit(exp, "fn f(x: Option<u32>) -> u32 { x.unwrap() }").contains(&id::NO_PANIC)
+        );
+    }
+
+    #[test]
+    fn lossy_cast_fires_in_model_crates_only() {
+        let src = "fn f(n: usize) -> f64 { n as f64 }";
+        assert!(rules_hit(ctx(), src).contains(&id::LOSSY_CAST));
+        let sim = FileContext {
+            path: "crates/sim/src/x.rs",
+            crate_name: "sim",
+            is_crate_root: false,
+        };
+        assert!(!rules_hit(sim, src).contains(&id::LOSSY_CAST));
+    }
+
+    #[test]
+    fn unstable_denominator_requires_guard() {
+        let bad = "fn f(mu: f64, rho: f64) -> f64 { mu / (1.0 - rho) }";
+        assert!(rules_hit(ctx(), bad).contains(&id::UNSTABLE_DENOMINATOR));
+        let good = "fn f(mu: f64, rho: f64) -> Result<f64, E> {\n\
+                    if rho >= 1.0 { return Err(E::UnstableQueue { rho }); }\n\
+                    Ok(mu / (1.0 - rho)) }";
+        assert!(!rules_hit(ctx(), good).contains(&id::UNSTABLE_DENOMINATOR));
+    }
+
+    #[test]
+    fn hygiene_fires_on_bare_crate_root() {
+        let root = FileContext {
+            path: "crates/core/src/lib.rs",
+            crate_name: "core",
+            is_crate_root: true,
+        };
+        let hits = rules_hit(root, "//! docs\npub fn f() {}");
+        assert!(hits.contains(&id::FORBID_UNSAFE));
+        assert!(hits.contains(&id::DENY_MISSING_DOCS));
+        let clean = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}";
+        assert!(rules_hit(root, clean).is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_carry_lines() {
+        let src = "fn f() { let t = Instant::now(); }\nfn g(x: Option<u32>) { x.unwrap(); }";
+        let found = scan_file(ctx(), src);
+        assert!(found.windows(2).all(|w| w[0] <= w[1]));
+        assert!(found
+            .iter()
+            .any(|f| f.rule == id::WALL_CLOCK && f.line == 1));
+        assert!(found.iter().any(|f| f.rule == id::NO_PANIC && f.line == 2));
+    }
+}

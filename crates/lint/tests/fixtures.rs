@@ -1,0 +1,226 @@
+//! Fixture-driven tests for every lint rule (one known-bad and one
+//! known-good sample each), the workspace self-check, and a
+//! debug-profile simulation run that exercises the engine's
+//! event-ordering `debug_assert`s.
+
+use std::path::Path;
+
+use adapt_lint::config;
+use adapt_lint::report::LintReport;
+use adapt_lint::rules::{id, scan_file, FileContext};
+use adapt_lint::run_workspace;
+
+/// Scans fixture `source` as if it lived in `crate_name`, returning the
+/// rule ids that fired.
+fn rules_hit(crate_name: &str, is_crate_root: bool, source: &str) -> Vec<String> {
+    let file = if is_crate_root {
+        "lib.rs"
+    } else {
+        "fixture.rs"
+    };
+    let path = format!("crates/{crate_name}/src/{file}");
+    scan_file(
+        FileContext {
+            path: &path,
+            crate_name,
+            is_crate_root,
+        },
+        source,
+    )
+    .into_iter()
+    .map(|f| f.rule.to_string())
+    .collect()
+}
+
+fn count(hits: &[String], rule: &str) -> usize {
+    hits.iter().filter(|r| r == &rule).count()
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    let bad = rules_hit("sim", false, include_str!("../fixtures/wall_clock_bad.rs"));
+    assert!(
+        count(&bad, id::WALL_CLOCK) >= 1,
+        "bad fixture must fire: {bad:?}"
+    );
+    let good = rules_hit("sim", false, include_str!("../fixtures/wall_clock_good.rs"));
+    assert_eq!(
+        count(&good, id::WALL_CLOCK),
+        0,
+        "good fixture must be clean: {good:?}"
+    );
+}
+
+#[test]
+fn entropy_fixtures() {
+    let bad = rules_hit("sim", false, include_str!("../fixtures/entropy_bad.rs"));
+    assert!(count(&bad, id::ENTROPY) >= 1, "{bad:?}");
+    let good = rules_hit("sim", false, include_str!("../fixtures/entropy_good.rs"));
+    assert_eq!(count(&good, id::ENTROPY), 0, "{good:?}");
+}
+
+#[test]
+fn unordered_map_fixtures() {
+    let bad = rules_hit(
+        "telemetry",
+        false,
+        include_str!("../fixtures/unordered_map_bad.rs"),
+    );
+    assert!(count(&bad, id::UNORDERED_MAP) >= 1, "{bad:?}");
+    let good = rules_hit(
+        "telemetry",
+        false,
+        include_str!("../fixtures/unordered_map_good.rs"),
+    );
+    assert_eq!(count(&good, id::UNORDERED_MAP), 0, "{good:?}");
+}
+
+#[test]
+fn no_panic_fixtures() {
+    let bad = rules_hit("dfs", false, include_str!("../fixtures/no_panic_bad.rs"));
+    // `.expect(` and `panic!` are two distinct findings.
+    assert_eq!(count(&bad, id::NO_PANIC), 2, "{bad:?}");
+    // The good fixture keeps an `unwrap()` inside `#[cfg(test)]`, which
+    // the test-region mask must exempt.
+    let good = rules_hit("dfs", false, include_str!("../fixtures/no_panic_good.rs"));
+    assert_eq!(count(&good, id::NO_PANIC), 0, "{good:?}");
+}
+
+#[test]
+fn no_panic_scope_excludes_non_substrate_crates() {
+    // The same bad fixture in `experiments` (out of robustness scope)
+    // must not fire.
+    let hits = rules_hit(
+        "experiments",
+        false,
+        include_str!("../fixtures/no_panic_bad.rs"),
+    );
+    assert_eq!(count(&hits, id::NO_PANIC), 0, "{hits:?}");
+}
+
+#[test]
+fn lossy_cast_fixtures() {
+    let bad = rules_hit("core", false, include_str!("../fixtures/lossy_cast_bad.rs"));
+    assert_eq!(count(&bad, id::LOSSY_CAST), 2, "{bad:?}");
+    let good = rules_hit(
+        "core",
+        false,
+        include_str!("../fixtures/lossy_cast_good.rs"),
+    );
+    assert_eq!(count(&good, id::LOSSY_CAST), 0, "{good:?}");
+    // Out of numeric scope: the same casts in `sim` are not flagged.
+    let sim = rules_hit("sim", false, include_str!("../fixtures/lossy_cast_bad.rs"));
+    assert_eq!(count(&sim, id::LOSSY_CAST), 0, "{sim:?}");
+}
+
+#[test]
+fn unstable_denominator_fixtures() {
+    let bad = rules_hit(
+        "availability",
+        false,
+        include_str!("../fixtures/unstable_denominator_bad.rs"),
+    );
+    assert_eq!(count(&bad, id::UNSTABLE_DENOMINATOR), 1, "{bad:?}");
+    let good = rules_hit(
+        "availability",
+        false,
+        include_str!("../fixtures/unstable_denominator_good.rs"),
+    );
+    assert_eq!(count(&good, id::UNSTABLE_DENOMINATOR), 0, "{good:?}");
+}
+
+#[test]
+fn hygiene_fixtures() {
+    let bad = rules_hit("traces", true, include_str!("../fixtures/hygiene_bad.rs"));
+    assert_eq!(count(&bad, id::FORBID_UNSAFE), 1, "{bad:?}");
+    assert_eq!(count(&bad, id::DENY_MISSING_DOCS), 1, "{bad:?}");
+    let good = rules_hit("traces", true, include_str!("../fixtures/hygiene_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+    // Hygiene only applies to crate roots: the bare file is fine as a
+    // non-root module.
+    let module = rules_hit("traces", false, include_str!("../fixtures/hygiene_bad.rs"));
+    assert!(module.is_empty(), "{module:?}");
+}
+
+#[test]
+fn stale_allowlist_entry_is_a_violation() {
+    let allow = config::parse(
+        "[[allow]]\n\
+         rule = \"numeric/lossy-cast\"\n\
+         path = \"crates/core/src/no_such_file.rs\"\n\
+         reason = \"left behind after a refactor\"\n",
+    )
+    .expect("fixture allowlist parses");
+    let report = LintReport::build(Vec::new(), &allow, 0);
+    assert_eq!(report.violation_count(), 1);
+    let stale = &report.findings[0];
+    assert_eq!(stale.rule, id::STALE_ALLOW);
+    assert_eq!(stale.path, "lint.toml");
+}
+
+/// The workspace root, reached from this crate's manifest directory.
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Self-check: the checked-in workspace passes its own lint with zero
+/// violations, and the determinism/robustness allowlists are empty (no
+/// finding from those families exists at all, allowlisted or not).
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run_workspace(workspace_root()).expect("lint pass runs");
+    let violations: Vec<String> = report
+        .violations()
+        .map(|f| format!("{}:{} [{}]", f.path, f.line, f.rule))
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "workspace has violations: {violations:#?}"
+    );
+    for f in &report.findings {
+        assert!(
+            !f.rule.starts_with("determinism/") && !f.rule.starts_with("robustness/"),
+            "determinism/robustness must not be allowlisted: {}:{} [{}]",
+            f.path,
+            f.line,
+            f.rule
+        );
+    }
+    assert!(report.files_scanned > 50, "workspace walk looks truncated");
+}
+
+/// The findings artifact is byte-stable across repeated runs — the same
+/// determinism property the telemetry regression gate enforces.
+#[test]
+fn findings_artifact_is_byte_stable() {
+    let a = run_workspace(workspace_root())
+        .expect("first pass")
+        .to_json_pretty();
+    let b = run_workspace(workspace_root())
+        .expect("second pass")
+        .to_json_pretty();
+    assert_eq!(a, b);
+}
+
+/// Runs a small Figure-3-style emulated scenario under the test (debug)
+/// profile, so the sim engine's `debug_assert`s — in particular the
+/// event-queue time-monotonicity check in the event loop — are active
+/// while a realistic schedule (interruptions, steals, speculation,
+/// re-replication pressure) executes.
+#[test]
+fn fig3_style_run_passes_debug_assertions() {
+    use adapt_experiments::emulated::run_emulated;
+    use adapt_experiments::{EmulatedConfig, PolicyKind};
+
+    let cfg = EmulatedConfig {
+        nodes: 32,
+        blocks_per_node: 5,
+        runs: 2,
+        ..EmulatedConfig::default()
+    };
+    for policy in [PolicyKind::Random, PolicyKind::Adapt] {
+        let agg = run_emulated(&cfg, policy).expect("emulated run succeeds");
+        assert!(agg.all_completed, "{policy:?} run hit the horizon");
+        assert_eq!(agg.runs, 2);
+    }
+}

@@ -603,9 +603,9 @@ impl MapPhaseSim {
     ///
     /// # Errors
     ///
-    /// Currently infallible beyond construction (an exceeded horizon is
-    /// reported via [`SimReport::completed`]), but returns `Result` so
-    /// future engine variants can fail.
+    /// An exceeded horizon is reported via [`SimReport::completed`], not
+    /// as an error. [`SimError::InvariantViolation`] signals an internal
+    /// scheduling bug (never expected on valid inputs).
     pub fn run(self, seed: u64) -> Result<SimReport, SimError> {
         Ok(self.run_detailed(seed)?.report)
     }
@@ -637,6 +637,7 @@ impl MapPhaseSim {
         self.queue.push(0.0, Event::Kick);
 
         let mut elapsed = None;
+        let mut last_event_time = 0.0f64;
         loop {
             // The queue is longest right before a dispatch (pushes happen
             // inside handlers; nothing pops in between), so sampling here
@@ -647,6 +648,13 @@ impl MapPhaseSim {
             let Some((t, event)) = self.queue.pop() else {
                 break;
             };
+            // Event-ordering invariant: the queue must release events in
+            // non-decreasing time, or causality (and determinism) breaks.
+            debug_assert!(
+                t >= last_event_time,
+                "event queue released t={t} after t={last_event_time}"
+            );
+            last_event_time = t;
             if t > self.cfg.horizon {
                 break;
             }
@@ -654,21 +662,21 @@ impl MapPhaseSim {
                 Event::Kick => {
                     self.telemetry.events_kick.incr();
                     for i in 0..self.nodes.len() as u32 {
-                        self.try_assign(i, t);
+                        self.try_assign(i, t)?;
                     }
                 }
                 Event::Down(n) => {
                     self.telemetry.events_down.incr();
-                    self.on_down(n, t);
+                    self.on_down(n, t)?;
                 }
                 Event::Up(n) => {
                     self.telemetry.events_up.incr();
-                    self.on_up(n, t, &mut rngs[n as usize]);
+                    self.on_up(n, t, &mut rngs[n as usize])?;
                 }
                 Event::AttemptDone { node, epoch } => {
                     self.telemetry.events_attempt_done.incr();
                     if self.nodes[node as usize].epoch == epoch {
-                        self.on_attempt_done(node, t);
+                        self.on_attempt_done(node, t)?;
                         if self.done_count == self.tasks.len() {
                             elapsed = Some(t);
                             break;
@@ -678,7 +686,7 @@ impl MapPhaseSim {
                 Event::Requeue(task) => {
                     self.telemetry.events_requeue.incr();
                     self.requeue(task, t);
-                    self.dispatch_idle(t, &[task]);
+                    self.dispatch_idle(t, &[task])?;
                 }
             }
         }
@@ -693,15 +701,15 @@ impl MapPhaseSim {
     // ------------------------------------------------------------------
 
     /// Attempts to hand the node a task; returns whether one was started.
-    fn try_assign(&mut self, n: u32, t: f64) -> bool {
+    fn try_assign(&mut self, n: u32, t: f64) -> Result<bool, SimError> {
         let ni = n as usize;
         if !self.nodes[ni].up || self.nodes[ni].running.is_some() {
-            return false;
+            return Ok(false);
         }
         // 1. Local pending work.
         if let Some(&task) = self.nodes[ni].local_pending.first() {
-            self.start_task(n, task, t);
-            return true;
+            self.start_task(n, task, t)?;
+            return Ok(true);
         }
         // 2. Steal a pending task with an *admissible* source replica:
         // a source whose uplink is not already backlogged. Without this
@@ -746,8 +754,8 @@ impl MapPhaseSim {
         }
         if let Some(task) = chosen {
             self.telemetry.steals.incr();
-            self.start_task(n, task, t);
-            return true;
+            self.start_task(n, task, t)?;
+            return Ok(true);
         }
         // 3. Speculative duplicate of a running straggler. Task times are
         // deterministic, so the scheduler only duplicates when the new
@@ -798,12 +806,12 @@ impl MapPhaseSim {
             });
             if let Some(task) = candidate {
                 self.telemetry.speculative_attempts.incr();
-                self.start_task(n, task, t);
-                return true;
+                self.start_task(n, task, t)?;
+                return Ok(true);
             }
         }
         self.idle.insert(n);
-        false
+        Ok(false)
     }
 
     /// Number of outbound transfers node `r` is serving at time `t`.
@@ -847,7 +855,13 @@ impl MapPhaseSim {
     }
 
     /// Starts one attempt of `task` on node `n` at time `t`.
-    fn start_task(&mut self, n: u32, task: usize, t: f64) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvariantViolation`] if a remote attempt has no alive
+    /// source replica — every caller checks admissibility first, so this
+    /// signals an engine bug rather than a reachable state.
+    fn start_task(&mut self, n: u32, task: usize, t: f64) -> Result<(), SimError> {
         let ni = n as usize;
         debug_assert!(self.nodes[ni].up && self.nodes[ni].running.is_none());
         self.attempts += 1;
@@ -873,7 +887,9 @@ impl MapPhaseSim {
                         .filter(|&r| self.nodes[r as usize].up)
                         .min_by_key(|&r| self.active_streams(r, t))
                 })
-                .expect("caller guarantees an alive source replica");
+                .ok_or(SimError::InvariantViolation {
+                    what: "remote attempt started without an alive source replica",
+                })?;
             let end = t + self.cfg.transfer_seconds();
             let src = &mut self.nodes[source as usize];
             src.serving.retain(|&e| e > t);
@@ -919,15 +935,24 @@ impl MapPhaseSim {
         if self.slowdown[n as usize] > STRAGGLER_SLOWDOWN || compute_start - t > self.cfg.gamma {
             self.spec_candidates.insert(task);
         }
+        Ok(())
     }
 
     /// A valid attempt completed: the task is done.
-    fn on_attempt_done(&mut self, n: u32, t: f64) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvariantViolation`] if the node has no running
+    /// attempt — the epoch check filters stale completions, so this
+    /// signals an engine bug rather than a reachable state.
+    fn on_attempt_done(&mut self, n: u32, t: f64) -> Result<(), SimError> {
         let ni = n as usize;
         let attempt = self.nodes[ni]
             .running
             .take()
-            .expect("epoch-valid completion implies a running attempt");
+            .ok_or(SimError::InvariantViolation {
+                what: "epoch-valid completion arrived with no running attempt",
+            })?;
         let task = attempt.task;
         debug_assert!(!self.tasks[task].done);
 
@@ -957,12 +982,12 @@ impl MapPhaseSim {
         }
         for loser in losers {
             self.kill_attempt(loser, t, KillReason::DuplicateLost);
-            self.try_assign(loser, t);
+            self.try_assign(loser, t)?;
         }
-        self.try_assign(n, t);
+        self.try_assign(n, t)?;
         // Source uplinks drain as time passes: idle nodes that earlier
         // declined a congested steal get another look.
-        self.dispatch_idle(t, &[]);
+        self.dispatch_idle(t, &[])
     }
 
     /// Kills the node's running attempt (if any), accounting the loss.
@@ -1031,7 +1056,7 @@ impl MapPhaseSim {
         }
     }
 
-    fn on_down(&mut self, n: u32, t: f64) {
+    fn on_down(&mut self, n: u32, t: f64) -> Result<(), SimError> {
         let ni = n as usize;
         debug_assert!(self.nodes[ni].up);
         self.telemetry.interruptions.incr();
@@ -1061,7 +1086,7 @@ impl MapPhaseSim {
                     .is_some_and(|a| a.seq == o.dest_seq);
                 if still_same_attempt {
                     self.kill_attempt(o.dest, t, KillReason::SourceLost);
-                    self.try_assign(o.dest, t);
+                    self.try_assign(o.dest, t)?;
                 }
             }
         }
@@ -1085,10 +1110,10 @@ impl MapPhaseSim {
         if !self.nodes[ni].local_pending.is_empty() {
             self.nodes[ni].recovery_mark = Some(t);
         }
-        self.dispatch_idle(t, &freed);
+        self.dispatch_idle(t, &freed)
     }
 
-    fn on_up(&mut self, n: u32, t: f64, rng: &mut StdRng) {
+    fn on_up(&mut self, n: u32, t: f64, rng: &mut StdRng) -> Result<(), SimError> {
         let ni = n as usize;
         debug_assert!(!self.nodes[ni].up);
         self.nodes[ni].up = true;
@@ -1112,32 +1137,33 @@ impl MapPhaseSim {
             self.nodes[ni].pending_up_at = outage.up_at;
             self.queue.push(outage.down_at, Event::Down(n));
         }
-        self.try_assign(n, t);
+        self.try_assign(n, t)?;
         // This node returning may unblock idle nodes (new steal sources).
-        self.dispatch_idle(t, &freed);
+        self.dispatch_idle(t, &freed)
     }
 
     /// Gives idle nodes a chance to pick up newly available work.
     /// `freed` hints which tasks just became schedulable, so the locality
     /// pass stays O(|freed|·k) instead of scanning every stealable task.
-    fn dispatch_idle(&mut self, t: f64, freed: &[usize]) {
+    fn dispatch_idle(&mut self, t: f64, freed: &[usize]) -> Result<(), SimError> {
         // Locality pass: idle replica holders of the freed tasks first.
         for &task in freed {
             if !self.pending.contains(&task) {
                 continue;
             }
             for &r in &self.tasks[task].replicas.clone() {
-                if self.idle.contains(&r) && self.try_assign(r, t) {
+                if self.idle.contains(&r) && self.try_assign(r, t)? {
                     break;
                 }
             }
         }
         // General pass: first-come idle nodes until assignment fails.
         while let Some(&n) = self.idle.first() {
-            if !self.try_assign(n, t) {
+            if !self.try_assign(n, t)? {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Maintains `local_pending` plus the recovery clock of down nodes.

@@ -28,6 +28,13 @@ pub enum SimError {
         /// Tasks still unfinished.
         unfinished: usize,
     },
+    /// An internal scheduling invariant did not hold (an engine bug, not
+    /// a configuration error). Surfaced as a typed error instead of a
+    /// panic so a corrupted run fails loudly but recoverably.
+    InvariantViolation {
+        /// Description of the violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +54,9 @@ impl fmt::Display for SimError {
                 f,
                 "simulation horizon {horizon} exceeded with {unfinished} tasks unfinished"
             ),
+            SimError::InvariantViolation { what } => {
+                write!(f, "simulation invariant violated: {what}")
+            }
         }
     }
 }

@@ -2,7 +2,7 @@
 //! maintains while it runs.
 //!
 //! [`EngineTelemetry`] holds the live (atomic) instruments embedded in
-//! [`MapPhaseSim`]; [`finalize`](MapPhaseSim::run_detailed) snapshots it
+//! [`MapPhaseSim`]; [`finalize`](crate::engine::MapPhaseSim::run_detailed) snapshots it
 //! into the plain-integer [`EngineTelemetrySnapshot`] carried by
 //! [`DetailedReport`]. Snapshots from repeated runs [`merge`] exactly
 //! (integer sums / max), so aggregating many seeds is deterministic

@@ -35,7 +35,7 @@
 //! [`merge`]: metrics::HistogramSnapshot::merge
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod json;
 pub mod metrics;

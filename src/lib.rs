@@ -38,6 +38,7 @@
 //! the paper reproduction binaries.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use adapt_availability as availability;
 pub use adapt_core as core;
