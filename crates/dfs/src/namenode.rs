@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
+use adapt_trace::{TraceEvent, TraceRecorder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +124,7 @@ pub struct NameNode {
     next_file: u64,
     next_block: u64,
     telemetry: NameNodeTelemetry,
+    trace: Option<TraceRecorder>,
 }
 
 impl NameNode {
@@ -143,7 +145,21 @@ impl NameNode {
             next_file: 0,
             next_block: 0,
             telemetry: NameNodeTelemetry::default(),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace recorder: placement decisions (`BlockPlaced`,
+    /// `BlockRebalanced`) are appended to it from now on. Hand the
+    /// recorder back with [`take_trace`](NameNode::take_trace) so the
+    /// simulator can continue the same sequence.
+    pub fn attach_trace(&mut self, recorder: TraceRecorder) {
+        self.trace = Some(recorder);
+    }
+
+    /// Detaches and returns the trace recorder, if one was attached.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trace.take()
     }
 
     /// The NameNode's placement counters (live).
@@ -352,6 +368,12 @@ impl NameNode {
             self.next_block += 1;
             for node in &replicas {
                 self.nodes[node.0 as usize].stored.insert(block_id);
+                if let Some(recorder) = self.trace.as_mut() {
+                    recorder.record(TraceEvent::BlockPlaced {
+                        block: block_id.0,
+                        node: node.0,
+                    });
+                }
             }
             self.blocks.insert(
                 block_id,
@@ -495,6 +517,13 @@ impl NameNode {
         meta.replicas[pos] = to;
         self.nodes[from.0 as usize].stored.remove(&block);
         self.nodes[to.0 as usize].stored.insert(block);
+        if let Some(recorder) = self.trace.as_mut() {
+            recorder.record(TraceEvent::BlockRebalanced {
+                block: block.0,
+                from: from.0,
+                to: to.0,
+            });
+        }
         Ok(())
     }
 
@@ -686,6 +715,36 @@ mod tests {
         assert_eq!(Threshold::PaperDefault.cap(1, 0, 100), Some(1));
         assert_eq!(Threshold::None.cap(10, 1, 3), None);
         assert_eq!(Threshold::Blocks(5).cap(10, 1, 3), Some(5));
+    }
+
+    #[test]
+    fn trace_records_placements_and_rebalances() {
+        let mut nn = reliable_cluster(4);
+        nn.attach_trace(TraceRecorder::new());
+        let file = create(&mut nn, 6, 2, Threshold::None, 9);
+        let block = nn.file(file).unwrap().blocks()[0];
+        let from = nn.replicas(block).unwrap()[0];
+        let to = (0..4)
+            .map(NodeId)
+            .find(|n| !nn.replicas(block).unwrap().contains(n))
+            .unwrap();
+        nn.move_replica(block, from, to).unwrap();
+        let recorder = nn.take_trace().unwrap();
+        assert!(nn.take_trace().is_none());
+        let placed = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BlockPlaced { .. }))
+            .count();
+        assert_eq!(placed, 12); // 6 blocks x 2 replicas
+        assert_eq!(
+            recorder.events().last(),
+            Some(&TraceEvent::BlockRebalanced {
+                block: block.0,
+                from: from.0,
+                to: to.0,
+            })
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Runs the design-choice ablation suite and prints one table per
 //! ablation (see `DESIGN.md` §7).
 //!
-//! Usage: `ablations [emu|sched] [--paper] [--runs N] [--nodes N] [--seed N]`
+//! Usage: `ablations [emu|sched] [--paper] [--runs N] [--nodes N] [--seed N]
+//! [--trace-out PATH]`
 //!
 //! * `emu` — only the emulated-cluster ablations (policies, threshold,
 //!   speculation, chain weighting, detection latency);
@@ -104,5 +105,10 @@ fn main() {
     if let Err(e) = run(&opts) {
         eprintln!("ablations failed: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = &opts.trace_out {
+        let nodes = opts.nodes.unwrap_or(256);
+        let seed = opts.seed.unwrap_or(2012);
+        adapt_experiments::run_report::write_probe_trace("ablations", path, nodes, seed);
     }
 }

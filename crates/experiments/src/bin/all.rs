@@ -1,7 +1,7 @@
 //! Runs every paper reproduction (Table 1, Figures 3–5) at the chosen
 //! scale and prints all tables — the input to `EXPERIMENTS.md`.
 //!
-//! Usage: `all [--paper] [--runs N] [--seed N]`
+//! Usage: `all [--paper] [--runs N] [--seed N] [--trace-out PATH]`
 
 use adapt_experiments::cli::Options;
 use adapt_experiments::config::{EmulatedConfig, LargeScaleConfig};
@@ -105,5 +105,10 @@ fn main() {
     if let Err(e) = run(&opts) {
         eprintln!("all failed: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = &opts.trace_out {
+        let nodes = opts.nodes.unwrap_or(256);
+        let seed = opts.seed.unwrap_or(2012);
+        adapt_experiments::run_report::write_probe_trace("all", path, nodes, seed);
     }
 }

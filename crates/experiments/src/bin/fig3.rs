@@ -86,4 +86,8 @@ fn main() {
         let base = base_config(&opts);
         adapt_experiments::run_report::write_probe_report("fig3", path, base.nodes, base.seed);
     }
+    if let Some(path) = &opts.trace_out {
+        let base = base_config(&opts);
+        adapt_experiments::run_report::write_probe_trace("fig3", path, base.nodes, base.seed);
+    }
 }

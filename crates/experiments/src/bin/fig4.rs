@@ -81,4 +81,8 @@ fn main() {
         let base = base_config(&opts);
         adapt_experiments::run_report::write_probe_report("fig4", path, base.nodes, base.seed);
     }
+    if let Some(path) = &opts.trace_out {
+        let base = base_config(&opts);
+        adapt_experiments::run_report::write_probe_trace("fig4", path, base.nodes, base.seed);
+    }
 }

@@ -88,4 +88,8 @@ fn main() {
         let base = base_config(&opts);
         adapt_experiments::run_report::write_probe_report("fig5", path, base.nodes, base.seed);
     }
+    if let Some(path) = &opts.trace_out {
+        let base = base_config(&opts);
+        adapt_experiments::run_report::write_probe_trace("fig5", path, base.nodes, base.seed);
+    }
 }

@@ -1,11 +1,14 @@
 //! Regenerates Table 1: SETI@home-like population statistics
 //! (measured vs paper).
 //!
-//! Usage: `table1 [--paper] [--nodes N] [--seed N] [--report-json PATH]`
+//! Usage: `table1 [--paper] [--nodes N] [--seed N] [--report-json PATH]
+//! [--trace-out PATH]`
 //! `--paper` uses the archive's full 226 208-host population size;
 //! the default uses 20 000 hosts (statistically equivalent, much faster).
 //! `--report-json` additionally runs the telemetry probe pipeline at the
-//! same host count and writes a deterministic JSON run report.
+//! same host count and writes a deterministic JSON run report;
+//! `--trace-out` runs the traced probe and writes its event trace as
+//! JSONL (explore with the `trace` binary).
 
 use adapt_experiments::cli::Options;
 use adapt_experiments::run_report::{build_run_report, finish_report, table1_section};
@@ -48,5 +51,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = &opts.trace_out {
+        adapt_experiments::run_report::write_probe_trace("table1", path, hosts, seed);
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! Flags: `--paper` (full paper scale), `--runs N`, `--nodes N`,
 //! `--seed N`, `--csv`, `--report-json PATH` (write a deterministic
-//! telemetry run report, see [`crate::run_report`]), plus a free-form
-//! positional (the sub-figure selector `a`/`b`/`c` where applicable).
+//! telemetry run report, see [`crate::run_report`]), `--trace-out PATH`
+//! (write the probe run's deterministic event trace as JSONL, explorable
+//! with the `trace` binary), plus a free-form positional (the sub-figure
+//! selector `a`/`b`/`c` where applicable).
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -20,6 +22,8 @@ pub struct Options {
     pub csv: bool,
     /// Write a deterministic telemetry run report (JSON) to this path.
     pub report_json: Option<String>,
+    /// Write the probe run's event trace (JSONL) to this path.
+    pub trace_out: Option<String>,
     /// Positional arguments (e.g. the sub-figure selector).
     pub positional: Vec<String>,
 }
@@ -47,10 +51,16 @@ impl Options {
                         .ok_or_else(|| format!("flag `{arg}` needs a value"))?;
                     opts.report_json = Some(path);
                 }
+                "--trace-out" => {
+                    let path = args
+                        .next()
+                        .ok_or_else(|| format!("flag `{arg}` needs a value"))?;
+                    opts.trace_out = Some(path);
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv] \
-                         [--report-json PATH]"
+                         [--report-json PATH] [--trace-out PATH]"
                             .to_string(),
                     )
                 }
@@ -111,6 +121,14 @@ mod tests {
         let o = parse(&["--report-json", "/tmp/r.json"]).unwrap();
         assert_eq!(o.report_json.as_deref(), Some("/tmp/r.json"));
         assert!(parse(&[]).unwrap().report_json.is_none());
+    }
+
+    #[test]
+    fn parses_trace_out_path() {
+        let o = parse(&["--trace-out", "/tmp/t.jsonl"]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(parse(&[]).unwrap().trace_out.is_none());
+        assert!(parse(&["--trace-out"]).is_err());
     }
 
     #[test]

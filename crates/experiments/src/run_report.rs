@@ -25,6 +25,7 @@ use adapt_sim::engine::{MapPhaseSim, SimConfig};
 use adapt_sim::interrupt::InterruptionProcess;
 use adapt_sim::runner::placement_from_namenode;
 use adapt_telemetry::{RunReport, Value};
+use adapt_trace::{write_jsonl, Trace, TraceRecorder};
 use adapt_traces::replay::InterruptionSchedule;
 use adapt_traces::stats::TraceSummary;
 
@@ -68,6 +69,23 @@ pub fn probe_config(nodes: usize, seed: u64) -> LargeScaleConfig {
 ///
 /// Propagates substrate failures as [`ExperimentError`].
 pub fn build_run_report(tool: &str, nodes: usize, seed: u64) -> Result<RunReport, ExperimentError> {
+    Ok(build_probe(tool, nodes, seed, false)?.0)
+}
+
+/// Runs the probe pipeline and assembles the report; with `traced` the
+/// NameNode and simulator share one [`TraceRecorder`], and the sealed
+/// event trace is returned next to the report (placement events first,
+/// then the simulation's, in one sequence space).
+///
+/// # Errors
+///
+/// Propagates substrate failures as [`ExperimentError`].
+pub fn build_probe(
+    tool: &str,
+    nodes: usize,
+    seed: u64,
+    traced: bool,
+) -> Result<(RunReport, Option<Trace>), ExperimentError> {
     let config = probe_config(nodes, seed);
     let world = World::generate(&config)?;
     let gamma = config.gamma();
@@ -88,6 +106,9 @@ pub fn build_run_report(tool: &str, nodes: usize, seed: u64) -> Result<RunReport
         .map(|&a| NodeSpec::new(a))
         .collect();
     let mut namenode = NameNode::new(specs);
+    if traced {
+        namenode.attach_trace(TraceRecorder::new());
+    }
     for (i, schedule) in schedules.iter().enumerate() {
         if schedule.is_down_at(0.0) {
             namenode.mark_down(adapt_dfs::NodeId(i as u32))?;
@@ -110,7 +131,11 @@ pub fn build_run_report(tool: &str, nodes: usize, seed: u64) -> Result<RunReport
         .map(InterruptionProcess::trace)
         .collect();
     let cfg = SimConfig::new(config.bandwidth_mbps, config.block_size, gamma)?.with_horizon(1e7);
-    let detailed = MapPhaseSim::new(processes, placement, cfg)?.run_detailed(seed)?;
+    let mut sim = MapPhaseSim::new(processes, placement, cfg)?;
+    if let Some(recorder) = namenode.take_trace() {
+        sim = sim.with_trace(recorder);
+    }
+    let detailed = sim.run_detailed(seed)?;
 
     let mut report = RunReport::new(tool);
     report.set_meta("nodes", nodes as u64);
@@ -142,7 +167,7 @@ pub fn build_run_report(tool: &str, nodes: usize, seed: u64) -> Result<RunReport
     summary.insert("tasks", r.tasks as u64);
     report.set_section("summary", summary);
 
-    Ok(report)
+    Ok((report, detailed.trace))
 }
 
 /// The Table 1 population statistics as a report section (attached by the
@@ -172,6 +197,29 @@ pub fn write_probe_report(tool: &str, path: &str, nodes: usize, seed: u64) {
             std::process::exit(1);
         }
     }
+}
+
+/// Runs the traced probe for `tool` and writes its event trace (JSONL) to
+/// `path` — the shared tail of every binary's `--trace-out` handling.
+/// Byte-identical for a given `(nodes, seed)` pair. Exits the process on
+/// failure.
+pub fn write_probe_trace(tool: &str, path: &str, nodes: usize, seed: u64) {
+    let trace = match build_probe(tool, nodes, seed, true) {
+        Ok((_, Some(trace))) => trace,
+        Ok((_, None)) => {
+            eprintln!("{tool}: traced probe produced no trace");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{tool}: trace probe failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(path, write_jsonl(&trace)) {
+        eprintln!("cannot write event trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("event trace written to {path}");
 }
 
 /// Writes an assembled report to `path` (the `table1` binary adds its own
@@ -224,6 +272,48 @@ mod tests {
         // A different seed must actually change the measured payload.
         let c = build_run_report("test", 64, 4).unwrap().to_json();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn traced_probe_is_byte_stable_and_leaves_report_unchanged() {
+        let (plain_report, no_trace) = build_probe("test", 64, 3, false).unwrap();
+        assert!(no_trace.is_none());
+        let (traced_report, trace_a) = build_probe("test", 64, 3, true).unwrap();
+        // Zero-overhead contract, observed at the report level: tracing
+        // changes nothing in the telemetry document.
+        assert_eq!(plain_report.to_json(), traced_report.to_json());
+        let trace_a = trace_a.unwrap();
+        assert!(trace_a
+            .events
+            .iter()
+            .any(|e| matches!(e, adapt_trace::TraceEvent::BlockPlaced { .. })));
+        // Fixed seed => byte-identical serialized trace.
+        let trace_b = build_probe("test", 64, 3, true).unwrap().1.unwrap();
+        assert_eq!(write_jsonl(&trace_a), write_jsonl(&trace_b));
+        // And the trace re-derives the engine's overhead totals exactly.
+        let derived = adapt_trace::derive_totals(&trace_a);
+        let engine = traced_report.section("sim_engine").unwrap();
+        let overhead = engine.get("overhead").unwrap();
+        for (key, got) in [
+            ("rework_us", derived.rework_us),
+            ("recovery_us", derived.recovery_us),
+            ("migration_us", derived.migration_us),
+            ("misc_us", derived.misc_us),
+        ] {
+            assert_eq!(overhead.get(key), Some(&Value::from(got)), "{key}");
+        }
+        assert_eq!(
+            engine.get("elapsed_us"),
+            Some(&Value::from(derived.elapsed_us))
+        );
+        assert_eq!(
+            engine.get("attempts_started"),
+            Some(&Value::from(derived.attempts_started))
+        );
+        assert_eq!(
+            engine.get("transfers_started"),
+            Some(&Value::from(derived.transfers_started))
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod id {
 }
 
 /// Crates whose *library* code must be panic-free.
-pub const ROBUSTNESS_CRATES: [&str; 4] = ["availability", "core", "dfs", "sim"];
+pub const ROBUSTNESS_CRATES: [&str; 5] = ["availability", "core", "dfs", "sim", "trace"];
 
 /// Crates implementing the paper's numeric model (equations (2)–(5)).
 pub const NUMERIC_CRATES: [&str; 2] = ["availability", "core"];

@@ -41,6 +41,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use adapt_dfs::{BlockSize, NodeId};
+use adapt_trace::{KillCause, Trace, TraceEvent, TraceMeta, TraceRecorder};
 
 use crate::event::EventQueue;
 use crate::interrupt::InterruptionProcess;
@@ -75,6 +76,9 @@ pub struct DetailedReport {
     pub winners: Vec<Option<NodeId>>,
     /// Engine counters and histograms accumulated during the run.
     pub telemetry: EngineTelemetrySnapshot,
+    /// The sealed event trace, when the run was built
+    /// [`with_trace`](MapPhaseSim::with_trace); `None` otherwise.
+    pub trace: Option<Trace>,
 }
 
 /// How the JobTracker orders steal candidates.
@@ -388,6 +392,8 @@ struct Attempt {
     reserve_start: f64,
     compute_start: f64,
     local: bool,
+    /// Transfer source of a remote attempt (trace emission only).
+    source: Option<u32>,
 }
 
 /// An in-flight outbound transfer served by a node, so the fetches can be
@@ -472,6 +478,11 @@ pub struct MapPhaseSim {
     transfers: usize,
     local_completions: usize,
     telemetry: EngineTelemetry,
+    /// Event recorder, present only when tracing was requested. Every
+    /// emission site is guarded by this `Option`, so an untraced run
+    /// does no trace work at all (the zero-overhead-when-disabled
+    /// contract the CI telemetry baseline relies on).
+    trace: Option<TraceRecorder>,
 }
 
 impl MapPhaseSim {
@@ -595,7 +606,61 @@ impl MapPhaseSim {
             transfers: 0,
             local_completions: 0,
             telemetry: EngineTelemetry::default(),
+            trace: None,
         })
+    }
+
+    /// Attaches an event recorder: the run will emit a [`TraceEvent`]
+    /// for every attempt, transfer, outage, and requeue, and
+    /// [`DetailedReport::trace`] will carry the sealed [`Trace`]. The
+    /// recorder may already hold placement events (the NameNode's
+    /// `BlockPlaced`/`BlockRebalanced` records at t = 0) so one log
+    /// covers the whole pipeline. Simulation behavior and reported
+    /// metrics are byte-identical with or without tracing.
+    pub fn with_trace(mut self, recorder: TraceRecorder) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
+    /// Appends a trace event if tracing is enabled.
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(recorder) = self.trace.as_mut() {
+            recorder.record(event);
+        }
+    }
+
+    /// Emits the resolution of a remote attempt's block transfer: `Done`
+    /// when the transfer window closed before `t`, `Aborted` when the
+    /// kill (or horizon) cut it mid-flight.
+    fn emit_transfer_end(&mut self, n: u32, attempt: &Attempt, t: f64) {
+        if self.trace.is_none() || attempt.local {
+            return;
+        }
+        let Some(source) = attempt.source else {
+            return;
+        };
+        let (task, seq) = (attempt.task as u32, attempt.seq);
+        let (start, end) = (attempt.reserve_start, attempt.compute_start);
+        if end <= t {
+            self.emit(TraceEvent::TransferDone {
+                source,
+                dest: n,
+                task,
+                attempt: seq,
+                start,
+                end,
+            });
+        } else {
+            self.emit(TraceEvent::TransferAborted {
+                source,
+                dest: n,
+                task,
+                attempt: seq,
+                start,
+                end: t,
+            });
+        }
     }
 
     /// Runs the map phase to completion (or the horizon) and returns the
@@ -693,7 +758,7 @@ impl MapPhaseSim {
 
         let completed = elapsed.is_some();
         let elapsed = elapsed.unwrap_or(self.cfg.horizon);
-        Ok(self.finalize(elapsed, completed))
+        Ok(self.finalize(elapsed, completed, seed))
     }
 
     // ------------------------------------------------------------------
@@ -806,6 +871,11 @@ impl MapPhaseSim {
             });
             if let Some(task) = candidate {
                 self.telemetry.speculative_attempts.incr();
+                self.emit(TraceEvent::SpeculativeLaunched {
+                    node: n,
+                    task: task as u32,
+                    t,
+                });
                 self.start_task(n, task, t)?;
                 return Ok(true);
             }
@@ -871,6 +941,7 @@ impl MapPhaseSim {
         let local = self.tasks[task].replicas.contains(&n);
         let seq = self.nodes[ni].attempt_seq;
         self.nodes[ni].attempt_seq += 1;
+        let mut transfer_source: Option<u32> = None;
         let compute_start = if local {
             t
         } else {
@@ -905,8 +976,33 @@ impl MapPhaseSim {
             self.telemetry
                 .transfer_bytes
                 .record(self.cfg.block_size.bytes());
+            transfer_source = Some(source);
             end
         };
+
+        if self.trace.is_some() {
+            if let Some(source) = transfer_source {
+                let bytes = self.cfg.block_size.bytes();
+                self.emit(TraceEvent::TransferStarted {
+                    source,
+                    dest: n,
+                    task: task as u32,
+                    attempt: seq,
+                    bytes,
+                    start: t,
+                    end: compute_start,
+                });
+            }
+            self.emit(TraceEvent::AttemptStarted {
+                node: n,
+                task: task as u32,
+                attempt: seq,
+                local,
+                source: transfer_source,
+                t,
+                compute_start,
+            });
+        }
 
         self.nodes[ni].running = Some(Attempt {
             task,
@@ -914,6 +1010,7 @@ impl MapPhaseSim {
             reserve_start: t,
             compute_start,
             local,
+            source: transfer_source,
         });
         let epoch = self.nodes[ni].epoch;
         self.queue.push(
@@ -967,6 +1064,18 @@ impl MapPhaseSim {
         } else {
             self.migration += attempt.compute_start - attempt.reserve_start;
         }
+        if self.trace.is_some() {
+            self.emit_transfer_end(n, &attempt, t);
+            self.emit(TraceEvent::AttemptWon {
+                node: n,
+                task: task as u32,
+                attempt: attempt.seq,
+                local: attempt.local,
+                start: attempt.reserve_start,
+                compute_start: attempt.compute_start,
+                end: t,
+            });
+        }
 
         self.tasks[task].winner = Some(n);
         self.tasks[task].done = true;
@@ -1019,6 +1128,24 @@ impl MapPhaseSim {
             // The transfer window was committed on both links either way.
             self.migration += attempt.compute_start - attempt.reserve_start;
         }
+        if self.trace.is_some() {
+            self.emit_transfer_end(n, &attempt, t);
+            let cause = match reason {
+                KillReason::Interruption => KillCause::Interruption,
+                KillReason::DuplicateLost => KillCause::DuplicateLost,
+                KillReason::SourceLost => KillCause::SourceLost,
+            };
+            self.emit(TraceEvent::AttemptKilled {
+                node: n,
+                task: attempt.task as u32,
+                attempt: attempt.seq,
+                local: attempt.local,
+                start: attempt.reserve_start,
+                compute_start: attempt.compute_start,
+                end: t,
+                reason: cause,
+            });
+        }
 
         let task = attempt.task;
         self.tasks[task].running_on.retain(|&r| r != n);
@@ -1043,6 +1170,10 @@ impl MapPhaseSim {
             return; // resolved while the detection timer ran
         }
         self.telemetry.requeues.incr();
+        self.emit(TraceEvent::TaskRequeued {
+            task: task as u32,
+            t,
+        });
         self.pending.insert(task);
         for &r in &self.tasks[task].replicas.clone() {
             self.add_local_pending(r, task, t);
@@ -1060,6 +1191,7 @@ impl MapPhaseSim {
         let ni = n as usize;
         debug_assert!(self.nodes[ni].up);
         self.telemetry.interruptions.incr();
+        self.emit(TraceEvent::NodeDown { node: n, t });
         self.kill_attempt(n, t, KillReason::Interruption);
         self.nodes[ni].up = false;
         self.nodes[ni].down_since = Some(t);
@@ -1119,9 +1251,15 @@ impl MapPhaseSim {
         self.nodes[ni].up = true;
         if let Some(since) = self.nodes[ni].down_since.take() {
             self.nodes[ni].downtime += t - since;
+            self.emit(TraceEvent::NodeUp { node: n, since, t });
         }
         if let Some(mark) = self.nodes[ni].recovery_mark.take() {
             self.nodes[ni].recovery += t - mark;
+            self.emit(TraceEvent::RecoverySpan {
+                node: n,
+                start: mark,
+                end: t,
+            });
         }
         // Its stored blocks survive the outage: pending local tasks become
         // stealable again.
@@ -1182,25 +1320,78 @@ impl MapPhaseSim {
         if self.nodes[ni].local_pending.is_empty() {
             if let Some(mark) = self.nodes[ni].recovery_mark.take() {
                 self.nodes[ni].recovery += t - mark;
+                self.emit(TraceEvent::RecoverySpan {
+                    node: n,
+                    start: mark,
+                    end: t,
+                });
             }
         }
     }
 
-    fn finalize(mut self, elapsed: f64, completed: bool) -> DetailedReport {
+    fn finalize(mut self, elapsed: f64, completed: bool, seed: u64) -> DetailedReport {
+        let mut trace = self.trace.take();
         let mut recovery = 0.0;
         let mut up_idle = 0.0;
         let mut node_stats = Vec::with_capacity(self.nodes.len());
-        for node in &mut self.nodes {
+        for (ni, node) in self.nodes.iter_mut().enumerate() {
             if let Some(since) = node.down_since.take() {
                 node.downtime += (elapsed - since).max(0.0);
             }
             if let Some(mark) = node.recovery_mark.take() {
                 node.recovery += (elapsed - mark).max(0.0);
+                // Emit only a span that contributes: `(elapsed - mark).max(0.0)`
+                // adds exactly 0.0 otherwise, which derivation reproduces by
+                // simply not seeing a span.
+                if elapsed - mark > 0.0 {
+                    if let Some(recorder) = trace.as_mut() {
+                        recorder.record(TraceEvent::RecoverySpan {
+                            node: ni as u32,
+                            start: mark,
+                            end: elapsed,
+                        });
+                    }
+                }
             }
             // An attempt still running at the cut (incomplete runs only)
             // counts as busy time.
             if let Some(attempt) = node.running.take() {
                 node.busy += (elapsed - attempt.reserve_start).max(0.0);
+                if let Some(recorder) = trace.as_mut() {
+                    if !attempt.local {
+                        if let Some(source) = attempt.source {
+                            let event = if attempt.compute_start <= elapsed {
+                                TraceEvent::TransferDone {
+                                    source,
+                                    dest: ni as u32,
+                                    task: attempt.task as u32,
+                                    attempt: attempt.seq,
+                                    start: attempt.reserve_start,
+                                    end: attempt.compute_start,
+                                }
+                            } else {
+                                TraceEvent::TransferAborted {
+                                    source,
+                                    dest: ni as u32,
+                                    task: attempt.task as u32,
+                                    attempt: attempt.seq,
+                                    start: attempt.reserve_start,
+                                    end: elapsed,
+                                }
+                            };
+                            recorder.record(event);
+                        }
+                    }
+                    recorder.record(TraceEvent::AttemptCut {
+                        node: ni as u32,
+                        task: attempt.task as u32,
+                        attempt: attempt.seq,
+                        local: attempt.local,
+                        start: attempt.reserve_start,
+                        compute_start: attempt.compute_start,
+                        end: elapsed,
+                    });
+                }
             }
             recovery += node.recovery;
             let uptime = (elapsed - node.downtime).max(0.0);
@@ -1237,11 +1428,21 @@ impl MapPhaseSim {
         self.telemetry.migration.add_secs(report.migration);
         self.telemetry.misc.add_secs(report.misc);
         self.telemetry.elapsed.add_secs(report.elapsed);
+        let meta = TraceMeta {
+            nodes: self.nodes.len() as u32,
+            tasks: self.tasks.len() as u32,
+            gamma: self.cfg.gamma,
+            block_bytes: self.cfg.block_size.bytes(),
+            seed,
+            elapsed,
+            completed,
+        };
         DetailedReport {
             report,
             node_stats,
             winners: self.tasks.iter().map(|t| t.winner.map(NodeId)).collect(),
             telemetry: self.telemetry.snapshot(),
+            trace: trace.map(|recorder| recorder.finish(meta)),
         }
     }
 }
@@ -1950,5 +2151,123 @@ mod tests {
             with_rescue < without_rescue,
             "rescue {with_rescue} vs no rescue {without_rescue}"
         );
+    }
+
+    /// A volatile 4-node scenario that exercises every traced code path:
+    /// interruptions, remote steals, speculation, detection delay.
+    fn volatile_sim() -> MapPhaseSim {
+        let processes = vec![
+            InterruptionProcess::synthetic(60.0, Dist::exponential_from_mean(20.0).unwrap()),
+            InterruptionProcess::synthetic(90.0, Dist::exponential_from_mean(30.0).unwrap()),
+            InterruptionProcess::none(),
+            InterruptionProcess::none(),
+        ];
+        let placement = single_replica(&[0, 1, 0, 1, 0, 1, 2, 3]);
+        let cfg = SimConfig::new(64.0, BlockSize::DEFAULT, 12.0)
+            .unwrap()
+            .with_detection_delay(3.0)
+            .unwrap();
+        MapPhaseSim::new(processes, placement, cfg).unwrap()
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        use adapt_trace::TraceRecorder;
+        for seed in [7u64, 2012, 424242] {
+            let plain = volatile_sim().run_detailed(seed).unwrap();
+            let traced = volatile_sim()
+                .with_trace(TraceRecorder::new())
+                .run_detailed(seed)
+                .unwrap();
+            assert!(plain.trace.is_none());
+            let trace = traced.trace.as_ref().unwrap();
+            assert!(!trace.events.is_empty());
+            assert_eq!(trace.meta.seed, seed);
+            // Tracing must not change a single observable of the run.
+            assert_eq!(plain.report, traced.report, "seed {seed}");
+            assert_eq!(plain.node_stats, traced.node_stats);
+            assert_eq!(plain.winners, traced.winners);
+            assert_eq!(plain.telemetry, traced.telemetry);
+        }
+    }
+
+    #[test]
+    fn trace_rederives_engine_overheads_exactly() {
+        use adapt_trace::{derive_totals, TraceRecorder};
+        for seed in [7u64, 2012, 424242] {
+            let detailed = volatile_sim()
+                .with_trace(TraceRecorder::new())
+                .run_detailed(seed)
+                .unwrap();
+            let trace = detailed.trace.as_ref().unwrap();
+            let derived = derive_totals(trace);
+            let snap = &detailed.telemetry;
+            // Bit-exact, not approximate: the derivation replays the
+            // engine's f64 accumulation order and quantizes once.
+            assert_eq!(derived.rework_us, snap.rework_us, "seed {seed}");
+            assert_eq!(derived.recovery_us, snap.recovery_us, "seed {seed}");
+            assert_eq!(derived.migration_us, snap.migration_us, "seed {seed}");
+            assert_eq!(derived.misc_us, snap.misc_us, "seed {seed}");
+            assert_eq!(derived.elapsed_us, snap.elapsed_us, "seed {seed}");
+            assert_eq!(derived.attempts_started, snap.attempts_started);
+            assert_eq!(derived.transfers_started, snap.transfers_started);
+            assert_eq!(derived.interruptions, snap.interruptions);
+            assert_eq!(derived.kills_interruption, snap.kills_interruption);
+            assert_eq!(derived.kills_source_lost, snap.kills_source_lost);
+            assert_eq!(derived.speculative_losses, snap.speculative_losses);
+            assert_eq!(derived.requeues, snap.requeues);
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips_and_is_byte_stable() {
+        use adapt_trace::{parse_jsonl, write_jsonl, TraceRecorder};
+        let detailed = volatile_sim()
+            .with_trace(TraceRecorder::new())
+            .run_detailed(2012)
+            .unwrap();
+        let trace = detailed.trace.unwrap();
+        let text = write_jsonl(&trace);
+        let reparsed = parse_jsonl(&text).unwrap();
+        assert_eq!(reparsed, trace);
+        // Second identical run serializes to identical bytes.
+        let again = volatile_sim()
+            .with_trace(TraceRecorder::new())
+            .run_detailed(2012)
+            .unwrap()
+            .trace
+            .unwrap();
+        assert_eq!(write_jsonl(&again), text);
+    }
+
+    #[test]
+    fn incomplete_traced_run_cuts_open_attempts() {
+        use adapt_trace::{derive_totals, TraceEvent, TraceRecorder};
+        let detailed = MapPhaseSim::new(
+            reliable(1),
+            single_replica(&[0, 0, 0]),
+            cfg().with_horizon(20.0),
+        )
+        .unwrap()
+        .with_trace(TraceRecorder::new())
+        .run_detailed(3)
+        .unwrap();
+        assert!(!detailed.report.completed);
+        let trace = detailed.trace.as_ref().unwrap();
+        assert!(!trace.meta.completed);
+        // The attempt running at the horizon shows up as a cut span
+        // ending exactly at the cut.
+        let cut = trace
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::AttemptCut { end, .. } => Some(*end),
+                _ => None,
+            })
+            .unwrap();
+        assert!((cut - 20.0).abs() < 1e-9, "cut {cut}");
+        let derived = derive_totals(trace);
+        assert_eq!(derived.misc_us, detailed.telemetry.misc_us);
+        assert_eq!(derived.elapsed_us, detailed.telemetry.elapsed_us);
     }
 }

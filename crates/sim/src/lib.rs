@@ -59,4 +59,10 @@ mod error;
 pub use engine::{DetailedReport, MapPhaseSim, NodeStat, SchedulingMode, SimConfig, SimReport};
 pub use error::SimError;
 pub use interrupt::InterruptionProcess;
-pub use telemetry::{EngineTelemetry, EngineTelemetrySnapshot};
+pub use shuffle::{
+    estimate_shuffle, estimate_shuffle_instrumented, reliable_reducer_placement, ShuffleConfig,
+    ShuffleReport,
+};
+pub use telemetry::{
+    EngineTelemetry, EngineTelemetrySnapshot, ShuffleTelemetry, ShuffleTelemetrySnapshot,
+};

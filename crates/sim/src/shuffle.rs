@@ -29,7 +29,20 @@ use serde::{Deserialize, Serialize};
 
 use adapt_dfs::{BlockSize, NodeId};
 
+use crate::telemetry::ShuffleTelemetry;
 use crate::SimError;
+
+/// Bytes in one megabyte, as used by [`BlockSize::as_mb`].
+const BYTES_PER_MB: f64 = 1_048_576.0;
+
+/// Converts a non-negative megabyte volume to whole bytes.
+fn mb_to_bytes(mb: f64) -> u64 {
+    if mb.is_finite() && mb > 0.0 {
+        (mb * BYTES_PER_MB).round() as u64
+    } else {
+        0
+    }
+}
 
 /// Shuffle/reduce-phase parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -182,6 +195,33 @@ pub fn estimate_shuffle(
     })
 }
 
+/// [`estimate_shuffle`] plus instrumentation: records the run's byte
+/// volumes into `telemetry` (shuffle count, network/local bytes, the
+/// per-reducer skew high-water mark, and the per-run network-bytes
+/// histogram). The report is identical to the uninstrumented call.
+///
+/// # Errors
+///
+/// Exactly those of [`estimate_shuffle`]; failed runs record nothing.
+pub fn estimate_shuffle_instrumented(
+    winners: &[Option<NodeId>],
+    nodes: usize,
+    reducer_nodes: &[NodeId],
+    config: &ShuffleConfig,
+    telemetry: &ShuffleTelemetry,
+) -> Result<ShuffleReport, SimError> {
+    let report = estimate_shuffle(winners, nodes, reducer_nodes, config)?;
+    telemetry.runs.incr();
+    let network = mb_to_bytes(report.network_mb);
+    telemetry.network_bytes.add(network);
+    telemetry.local_bytes.add(mb_to_bytes(report.local_mb));
+    telemetry
+        .reducer_bytes_hwm
+        .record(mb_to_bytes(report.max_download_mb));
+    telemetry.run_network_bytes.record(network);
+    Ok(report)
+}
+
 /// Picks reducer hosts by ascending equation-(5) slowdown — the
 /// availability-aware reducer placement the paper's future work points
 /// at. `slowdown[i]` is node `i`'s `E[T]/γ` (1.0 for reliable hosts);
@@ -286,6 +326,28 @@ mod tests {
         let picks = reliable_reducer_placement(&slowdown, 2).unwrap();
         assert_eq!(picks, vec![NodeId(1), NodeId(2)]);
         assert!(reliable_reducer_placement(&slowdown, 5).is_err());
+    }
+
+    #[test]
+    fn instrumented_estimate_matches_plain_and_records_bytes() {
+        let winners = vec![Some(NodeId(0)), None, Some(NodeId(1))];
+        let reducers = [NodeId(0)];
+        let telemetry = ShuffleTelemetry::default();
+        let plain = estimate_shuffle(&winners, 2, &reducers, &cfg(1, 8.0)).unwrap();
+        let instrumented =
+            estimate_shuffle_instrumented(&winners, 2, &reducers, &cfg(1, 8.0), &telemetry)
+                .unwrap();
+        assert_eq!(instrumented, plain);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.runs, 1);
+        // 8 MB crossed the network, 8 MB stayed local.
+        assert_eq!(snap.network_bytes, 8 * 1_048_576);
+        assert_eq!(snap.local_bytes, 8 * 1_048_576);
+        assert_eq!(snap.reducer_bytes_hwm, 8 * 1_048_576);
+        assert_eq!(snap.run_network_bytes.count, 1);
+        // A failed estimate records nothing.
+        assert!(estimate_shuffle_instrumented(&winners, 2, &[], &cfg(1, 8.0), &telemetry).is_err());
+        assert_eq!(telemetry.snapshot().runs, 1);
     }
 
     #[test]

@@ -105,7 +105,79 @@ impl EngineTelemetry {
             misc_us: self.misc.micros(),
             elapsed_us: self.elapsed.micros(),
             runs: 1,
+            shuffle: ShuffleTelemetrySnapshot::default(),
         }
+    }
+}
+
+/// Live shuffle/reduce-phase instruments (see [`crate::shuffle`]). The
+/// shuffle model runs outside the map-phase engine, so these live in
+/// their own struct; snapshots fold into [`EngineTelemetrySnapshot`] so
+/// one report carries both phases.
+#[derive(Debug, Default)]
+pub struct ShuffleTelemetry {
+    /// Shuffle estimates performed.
+    pub runs: Counter,
+    /// Bytes that crossed the network, summed over runs.
+    pub network_bytes: Counter,
+    /// Bytes served locally (reducer co-located with the map output).
+    pub local_bytes: Counter,
+    /// Largest single-reducer download observed across runs — the
+    /// skew high-water mark of the binding downlink.
+    pub reducer_bytes_hwm: HighWater,
+    /// Network bytes per shuffle run.
+    pub run_network_bytes: Histogram,
+}
+
+impl ShuffleTelemetry {
+    /// Snapshots every instrument into plain integers.
+    pub fn snapshot(&self) -> ShuffleTelemetrySnapshot {
+        ShuffleTelemetrySnapshot {
+            runs: self.runs.get(),
+            network_bytes: self.network_bytes.get(),
+            local_bytes: self.local_bytes.get(),
+            reducer_bytes_hwm: self.reducer_bytes_hwm.get(),
+            run_network_bytes: self.run_network_bytes.snapshot(),
+        }
+    }
+}
+
+/// Plain-integer shuffle telemetry; merges exactly like the engine
+/// snapshot (integer sums, max for the high-water mark).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShuffleTelemetrySnapshot {
+    /// Shuffle estimates performed.
+    pub runs: u64,
+    /// Network bytes, summed over runs.
+    pub network_bytes: u64,
+    /// Locally served bytes, summed over runs.
+    pub local_bytes: u64,
+    /// Largest single-reducer download (max across merged runs).
+    pub reducer_bytes_hwm: u64,
+    /// Network bytes per shuffle run.
+    pub run_network_bytes: HistogramSnapshot,
+}
+
+impl ShuffleTelemetrySnapshot {
+    /// Adds `other`'s run(s) into `self`; merge order cannot change the
+    /// result.
+    pub fn merge(&mut self, other: &ShuffleTelemetrySnapshot) {
+        self.runs += other.runs;
+        self.network_bytes += other.network_bytes;
+        self.local_bytes += other.local_bytes;
+        self.reducer_bytes_hwm = self.reducer_bytes_hwm.max(other.reducer_bytes_hwm);
+        self.run_network_bytes.merge(&other.run_network_bytes);
+    }
+
+    /// Serializes the snapshot as a JSON object with stable keys.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("local_bytes", self.local_bytes);
+        v.insert("network_bytes", self.network_bytes);
+        v.insert("reducer_bytes_hwm", self.reducer_bytes_hwm);
+        v.insert("run_network_bytes", self.run_network_bytes.to_value());
+        v.insert("runs", self.runs);
+        v
     }
 }
 
@@ -167,6 +239,9 @@ pub struct EngineTelemetrySnapshot {
     pub elapsed_us: u64,
     /// Number of runs merged into this snapshot.
     pub runs: u64,
+    /// Shuffle/reduce-phase telemetry, folded in by the harness when the
+    /// shuffle model ran (all-zero otherwise).
+    pub shuffle: ShuffleTelemetrySnapshot,
 }
 
 impl EngineTelemetrySnapshot {
@@ -200,6 +275,7 @@ impl EngineTelemetrySnapshot {
         self.misc_us += other.misc_us;
         self.elapsed_us += other.elapsed_us;
         self.runs += other.runs;
+        self.shuffle.merge(&other.shuffle);
     }
 
     /// Serializes the snapshot as a JSON object with stable keys.
@@ -232,6 +308,11 @@ impl EngineTelemetrySnapshot {
         v.insert("queue_depth_hwm", self.queue_depth_hwm);
         v.insert("requeues", self.requeues);
         v.insert("runs", self.runs);
+        // Sparse: jobs without a shuffle phase keep the exact report
+        // shape (and bytes) they had before shuffle telemetry existed.
+        if self.shuffle.runs > 0 {
+            v.insert("shuffle", self.shuffle.to_value());
+        }
         v.insert("speculative_attempts", self.speculative_attempts);
         v.insert("speculative_losses", self.speculative_losses);
         v.insert("speculative_wins", self.speculative_wins);
@@ -271,6 +352,44 @@ mod tests {
         assert_eq!(ab.rework_us, 1_750_000);
         assert_eq!(ab.runs, 2);
         assert_eq!(ab.attempt_duration_us.count, 1);
+    }
+
+    #[test]
+    fn shuffle_merge_is_order_independent_and_sparse_in_json() {
+        let s = ShuffleTelemetry::default();
+        s.runs.incr();
+        s.network_bytes.add(1_000);
+        s.local_bytes.add(500);
+        s.reducer_bytes_hwm.record(400);
+        s.run_network_bytes.record(1_000);
+
+        let t = ShuffleTelemetry::default();
+        t.runs.incr();
+        t.network_bytes.add(2_000);
+        t.reducer_bytes_hwm.record(900);
+        t.run_network_bytes.record(2_000);
+
+        let mut a = EngineTelemetry::default().snapshot();
+        a.shuffle = s.snapshot();
+        let mut b = EngineTelemetry::default().snapshot();
+        b.shuffle = t.snapshot();
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.shuffle.runs, 2);
+        assert_eq!(ab.shuffle.network_bytes, 3_000);
+        assert_eq!(ab.shuffle.local_bytes, 500);
+        assert_eq!(ab.shuffle.reducer_bytes_hwm, 900);
+        assert_eq!(ab.shuffle.run_network_bytes.count, 2);
+
+        // Present only when a shuffle actually ran: a map-only snapshot
+        // serializes byte-identically to the pre-shuffle-telemetry shape.
+        let map_only = EngineTelemetry::default().snapshot();
+        assert!(!map_only.to_value().to_json().contains("\"shuffle\""));
+        assert!(ab.to_value().to_json().contains("\"shuffle\""));
     }
 
     #[test]

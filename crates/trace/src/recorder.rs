@@ -1,0 +1,150 @@
+//! The event recorder and the finished trace it produces.
+//!
+//! [`TraceRecorder`] is a single-owner append log: the component driving
+//! a run (the NameNode during placement, then the sim engine) holds it by
+//! `&mut` and pushes events into preallocated storage — no locks, no
+//! atomics, no allocation once the backing vector has grown to the run's
+//! working size. Because ownership is exclusive, appends are naturally
+//! ordered: the vector index *is* the tie-breaking sequence number, and
+//! the emitters only ever append at non-decreasing simulated time, so a
+//! trace is totally ordered by `(time, seq)`.
+//!
+//! When the run finishes, [`TraceRecorder::finish`] seals the log with a
+//! [`TraceMeta`] header into an immutable [`Trace`].
+
+use adapt_telemetry::Value;
+
+use crate::event::TraceEvent;
+
+/// Format tag written as `format` in the JSONL header line.
+pub const FORMAT_TAG: &str = "adapt-trace/1";
+
+/// Run-level header carried by a finished [`Trace`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceMeta {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Task (= block) count.
+    pub tasks: u32,
+    /// Failure-free map-task seconds per block (the paper's γ).
+    pub gamma: f64,
+    /// HDFS block size in bytes.
+    pub block_bytes: u64,
+    /// The run seed every random draw derived from.
+    pub seed: u64,
+    /// Map-phase elapsed simulated seconds (horizon for incomplete runs).
+    pub elapsed: f64,
+    /// Whether every task finished within the horizon.
+    pub completed: bool,
+}
+
+impl TraceMeta {
+    /// Serializes the header (includes the `format` tag).
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("block_bytes", self.block_bytes);
+        v.insert("completed", self.completed);
+        v.insert("elapsed", self.elapsed);
+        v.insert("format", FORMAT_TAG);
+        v.insert("gamma", self.gamma);
+        v.insert("nodes", self.nodes);
+        v.insert("seed", self.seed);
+        v.insert("tasks", self.tasks);
+        v
+    }
+}
+
+/// Appendable event log (see the module docs for the ordering contract).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// An empty recorder with room for `capacity` events (sized from the
+    /// task count so steady-state appends never reallocate).
+    pub fn with_capacity(capacity: usize) -> TraceRecorder {
+        TraceRecorder {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one event. Sequence number = current [`len`](Self::len).
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events recorded so far, in `(time, seq)` order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Seals the log into an immutable [`Trace`].
+    pub fn finish(self, meta: TraceMeta) -> Trace {
+        Trace {
+            meta,
+            events: self.events,
+        }
+    }
+}
+
+/// A finished, immutable run trace: header plus `(time, seq)`-ordered
+/// events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Run-level header.
+    pub meta: TraceMeta,
+    /// All events, ordered by `(time, seq)`; the index is the seq.
+    pub events: Vec<TraceEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_appends_in_order() {
+        let mut rec = TraceRecorder::with_capacity(4);
+        assert!(rec.is_empty());
+        rec.record(TraceEvent::NodeDown { node: 0, t: 1.0 });
+        rec.record(TraceEvent::NodeUp {
+            node: 0,
+            since: 1.0,
+            t: 2.0,
+        });
+        assert_eq!(rec.len(), 2);
+        let trace = rec.finish(TraceMeta {
+            nodes: 1,
+            tasks: 0,
+            gamma: 12.0,
+            block_bytes: 64,
+            seed: 7,
+            elapsed: 2.0,
+            completed: true,
+        });
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.meta.seed, 7);
+    }
+
+    #[test]
+    fn meta_serialization_carries_format_tag() {
+        let json = TraceMeta::default().to_value().to_json();
+        assert!(json.contains("\"format\":\"adapt-trace/1\""), "{json}");
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`core`] — the ADAPT algorithm: performance predictor + weighted
 //!   hash-table placement (Algorithm 1) + baseline policies.
 //! * [`sim`] — the discrete-event MapReduce simulator and its metrics.
+//! * [`trace`] — deterministic per-event run tracing: structured spans
+//!   for every attempt/transfer/outage, JSONL + Chrome `trace_event`
+//!   export, critical-path and exact overhead re-derivation.
 //! * [`experiments`] — per-table/figure harnesses.
 //!
 //! # Quickstart
@@ -45,4 +48,5 @@ pub use adapt_core as core;
 pub use adapt_dfs as dfs;
 pub use adapt_experiments as experiments;
 pub use adapt_sim as sim;
+pub use adapt_trace as trace;
 pub use adapt_traces as traces;
