@@ -1,0 +1,204 @@
+//! [`IdSet`]: a two-level bitset over a fixed universe `0..capacity`.
+
+/// A set of `usize` ids drawn from a fixed universe `0..capacity`,
+/// stored as a two-level bitset: one bit per id in `words`, one summary
+/// bit per word in `summary`. Insert, remove, and contains are O(1);
+/// `first()` and ascending iteration skip empty regions 64 words (4 096
+/// ids) at a time via the summary level, so sparse scans over large
+/// universes stay cheap.
+///
+/// Matches `BTreeSet<usize>` semantics everywhere the engine relies on
+/// them: `first()` is the minimum and [`iter`](IdSet::iter) yields ids
+/// in ascending order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdSet {
+    words: Vec<u64>,
+    summary: Vec<u64>,
+    len: usize,
+    capacity: usize,
+}
+
+impl IdSet {
+    /// An empty set over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> IdSet {
+        let n_words = capacity.div_ceil(64);
+        let n_summary = n_words.div_ceil(64);
+        IdSet {
+            words: vec![0; n_words],
+            summary: vec![0; n_summary],
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// The universe bound this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `id`; returns whether it was newly added. `id` must be
+    /// below the capacity the set was created with.
+    pub fn insert(&mut self, id: usize) -> bool {
+        debug_assert!(id < self.capacity, "id {id} >= capacity {}", self.capacity);
+        let (w, bit) = (id / 64, 1u64 << (id % 64));
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.summary[w / 64] |= 1u64 << (w % 64);
+        self.len += 1;
+        true
+    }
+
+    /// Removes `id`; returns whether it was present. Ids at or beyond
+    /// the capacity are never present, so removal of them is a no-op.
+    pub fn remove(&mut self, id: usize) -> bool {
+        if id >= self.capacity {
+            return false;
+        }
+        let (w, bit) = (id / 64, 1u64 << (id % 64));
+        if self.words[w] & bit == 0 {
+            return false;
+        }
+        self.words[w] &= !bit;
+        if self.words[w] == 0 {
+            self.summary[w / 64] &= !(1u64 << (w % 64));
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: usize) -> bool {
+        id < self.capacity && self.words[id / 64] & (1u64 << (id % 64)) != 0
+    }
+
+    /// The smallest id in the set, or `None` when empty — the bitset
+    /// analogue of `BTreeSet::first`.
+    pub fn first(&self) -> Option<usize> {
+        for (si, &s) in self.summary.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let w = si * 64 + s.trailing_zeros() as usize;
+            return Some(w * 64 + self.words[w].trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> IdSetIter<'_> {
+        IdSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a IdSet {
+    type Item = usize;
+    type IntoIter = IdSetIter<'a>;
+
+    fn into_iter(self) -> IdSetIter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over an [`IdSet`] (see [`IdSet::iter`]).
+#[derive(Debug, Clone)]
+pub struct IdSetIter<'a> {
+    set: &'a IdSet,
+    /// Index of the word `current` was loaded from.
+    word_idx: usize,
+    /// Remaining bits of the current word (consumed low to high).
+    current: u64,
+}
+
+impl Iterator for IdSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            // Advance to the next non-empty word, hopping over fully
+            // empty 4 096-id regions through the summary level.
+            self.word_idx += 1;
+            loop {
+                let si = self.word_idx / 64;
+                let &s = self.set.summary.get(si)?;
+                // Mask off summary bits before word_idx within this block.
+                let masked = s & (u64::MAX << (self.word_idx % 64));
+                if masked != 0 {
+                    self.word_idx = si * 64 + masked.trailing_zeros() as usize;
+                    break;
+                }
+                // Jump to the start of the next summary block.
+                self.word_idx = (si + 1) * 64;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_first() {
+        let mut s = IdSet::new(10_000);
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        assert!(s.insert(5_000));
+        assert!(!s.insert(5_000));
+        assert!(s.insert(9_999));
+        assert!(s.insert(0));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.first(), Some(0));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.first(), Some(5_000));
+        assert!(s.contains(9_999));
+        assert!(!s.contains(1));
+        assert!(!s.remove(123_456), "beyond-capacity remove is a no-op");
+        assert!(!s.contains(123_456));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_skips_sparse_regions() {
+        let mut s = IdSet::new(1 << 20);
+        let ids = [0usize, 63, 64, 4_095, 4_096, 500_000, (1 << 20) - 1];
+        for &i in &ids {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, ids);
+        assert_eq!(s.iter().count(), s.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_universes() {
+        let s = IdSet::new(0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first(), None);
+        let mut s = IdSet::new(1);
+        assert!(s.insert(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0]);
+    }
+}

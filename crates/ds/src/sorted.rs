@@ -1,0 +1,101 @@
+//! [`SortedVecSet`]: a sorted-vector set for small id collections.
+
+/// A set of `usize` ids kept as a sorted `Vec` — the right shape for
+/// collections that stay small (a node's local pending tasks: a handful
+/// of entries at replication 1–3). Binary-search insert/remove, `first()`
+/// = element 0, and index access via [`get`](SortedVecSet::get) /
+/// [`as_slice`](SortedVecSet::as_slice) so callers can iterate while
+/// mutating *other* state, without cloning the set the way a `BTreeSet`
+/// loop would have to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SortedVecSet {
+    items: Vec<usize>,
+}
+
+impl SortedVecSet {
+    /// An empty set.
+    pub fn new() -> SortedVecSet {
+        SortedVecSet { items: Vec::new() }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts `id`; returns whether it was newly added.
+    pub fn insert(&mut self, id: usize) -> bool {
+        match self.items.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes `id`; returns whether it was present.
+    pub fn remove(&mut self, id: usize) -> bool {
+        match self.items.binary_search(&id) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: usize) -> bool {
+        self.items.binary_search(&id).is_ok()
+    }
+
+    /// The smallest id, or `None` when empty.
+    pub fn first(&self) -> Option<usize> {
+        self.items.first().copied()
+    }
+
+    /// The id at sorted position `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<usize> {
+        self.items.get(i).copied()
+    }
+
+    /// The ids as an ascending slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.items
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, usize>> {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_sorted_and_deduplicated() {
+        let mut s = SortedVecSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert_eq!(s.first(), Some(1));
+        assert_eq!(s.get(2), Some(5));
+        assert_eq!(s.get(3), None);
+        assert!(s.contains(3));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

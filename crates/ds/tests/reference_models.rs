@@ -1,0 +1,138 @@
+//! Property tests: every `adapt-ds` structure must be observationally
+//! equivalent to the `std` collection it replaces on the engine hot path
+//! — same membership answers, same ascending order, same pop sequence.
+//! These are the proofs behind the bit-identical-output optimisation
+//! rule (see `DESIGN.md` §12): swapping the structures in changes no
+//! scheduling decision.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use adapt_ds::{IdSet, MinHeap4, SortedVecSet};
+use proptest::prelude::*;
+
+/// One scripted mutation against a set: `(op, id)` where an even op
+/// inserts and an odd op removes.
+fn set_ops(universe: usize) -> impl Strategy<Value = Vec<(u8, usize)>> {
+    prop::collection::vec((0u8..2, 0..universe), 0..300)
+}
+
+proptest! {
+    /// `IdSet` vs `BTreeSet<usize>`: identical return values, length,
+    /// minimum, and ascending iteration after every operation.
+    #[test]
+    fn idset_matches_btreeset(ops in set_ops(4_096)) {
+        let mut ids = IdSet::new(4_096);
+        let mut model = BTreeSet::new();
+        for (op, x) in ops {
+            if op == 0 {
+                prop_assert_eq!(ids.insert(x), model.insert(x));
+            } else {
+                prop_assert_eq!(ids.remove(x), model.remove(&x));
+            }
+            prop_assert_eq!(ids.len(), model.len());
+            prop_assert_eq!(ids.is_empty(), model.is_empty());
+            prop_assert_eq!(ids.first(), model.first().copied());
+        }
+        let got: Vec<usize> = ids.iter().collect();
+        let want: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        // Spot-check membership across the whole universe.
+        for x in (0..4_096).step_by(7) {
+            prop_assert_eq!(ids.contains(x), model.contains(&x));
+        }
+    }
+
+    /// A bounded ascending scan (the engine's steal scan is
+    /// `iter().take(MAX_STEAL_SCAN)`) sees the same prefix a `BTreeSet`
+    /// scan would, even over a sparse 10 000-id universe.
+    #[test]
+    fn idset_prefix_scan_matches(xs in prop::collection::vec(0usize..10_000, 0..200)) {
+        let model: BTreeSet<usize> = xs.iter().copied().collect();
+        let mut ids = IdSet::new(10_000);
+        for &x in &xs {
+            ids.insert(x);
+        }
+        let got: Vec<usize> = ids.iter().take(32).collect();
+        let want: Vec<usize> = model.iter().copied().take(32).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `SortedVecSet` vs `BTreeSet<usize>`: same answers, same order.
+    #[test]
+    fn sorted_vec_set_matches_btreeset(ops in set_ops(64)) {
+        let mut s = SortedVecSet::new();
+        let mut model = BTreeSet::new();
+        for (op, x) in ops {
+            if op == 0 {
+                prop_assert_eq!(s.insert(x), model.insert(x));
+            } else {
+                prop_assert_eq!(s.remove(x), model.remove(&x));
+            }
+            prop_assert_eq!(s.first(), model.first().copied());
+            prop_assert_eq!(s.len(), model.len());
+            prop_assert_eq!(s.contains(x), model.contains(&x));
+        }
+        let got: Vec<usize> = s.iter().collect();
+        let want: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(got.as_slice(), s.as_slice());
+        prop_assert_eq!(got, want);
+        // Index access agrees with iteration order.
+        for (i, want) in model.iter().copied().enumerate() {
+            prop_assert_eq!(s.get(i), Some(want));
+        }
+        prop_assert_eq!(s.get(model.len()), None);
+    }
+
+    /// `MinHeap4` vs `BinaryHeap<Reverse<T>>`: interleaved push/pop
+    /// sequences produce identical outputs over a total order.
+    #[test]
+    fn minheap4_matches_binaryheap(script in prop::collection::vec(
+        prop::option::weighted(0.7, 0u64..1_000),
+        0..300,
+    )) {
+        let mut h = MinHeap4::with_capacity(8);
+        let mut model: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        for step in script {
+            match step {
+                Some(x) => {
+                    h.push(x);
+                    model.push(Reverse(x));
+                }
+                None => {
+                    prop_assert_eq!(h.pop(), model.pop().map(|r| r.0));
+                }
+            }
+            prop_assert_eq!(h.len(), model.len());
+            prop_assert_eq!(h.peek(), model.peek().map(|r| &r.0));
+        }
+        // Drain: the remaining pop sequence is fully sorted.
+        let mut out = Vec::new();
+        while let Some(x) = h.pop() {
+            out.push(x);
+        }
+        let mut want = Vec::new();
+        while let Some(Reverse(x)) = model.pop() {
+            want.push(x);
+        }
+        prop_assert_eq!(out, want);
+    }
+
+    /// FIFO tie-breaking: with `(key, seq)` elements — the event queue's
+    /// shape — equal keys pop in insertion order.
+    #[test]
+    fn minheap4_ties_pop_in_insertion_order(keys in prop::collection::vec(0u8..4, 1..120)) {
+        let mut h = MinHeap4::new();
+        for (seq, &k) in keys.iter().enumerate() {
+            h.push((k, seq as u64));
+        }
+        let mut prev: Option<(u8, u64)> = None;
+        while let Some((k, seq)) = h.pop() {
+            if let Some((pk, pseq)) = prev {
+                prop_assert!(pk < k || (pk == k && pseq < seq),
+                    "({pk},{pseq}) then ({k},{seq}) violates FIFO-at-equal-keys");
+            }
+            prev = Some((k, seq));
+        }
+    }
+}

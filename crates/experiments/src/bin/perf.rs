@@ -1,0 +1,226 @@
+//! Engine throughput harness — the `BENCH_<date>.json` producer and the
+//! `bench-regression` CI gate.
+//!
+//! Usage: `perf [--iters N] [--quick] [--out PATH]
+//! [--compare BASELINE] [--threshold F]`
+//!
+//! Runs the fixed scenario matrix (`table1`/`fig3`/`fig5` scales, see
+//! [`adapt_experiments::bench`]), timing only the engine (construction +
+//! event loop) over pre-built worlds and pre-cloned inputs, and prints
+//! one line per scenario. `--out` writes the `adapt-bench/1` report;
+//! `--compare` additionally parses a baseline report, embeds a
+//! `compared_to` block into the emitted file, prints per-scenario
+//! speedups, and exits nonzero if any scenario's events/sec fell more
+//! than `--threshold` (default 0.15) below the baseline.
+//!
+//! This binary is the one place in the workspace allowed to read the
+//! wall clock (see `WALL_CLOCK_EXEMPT_FILES` in `adapt-lint`): the
+//! simulated behaviour it measures stays deterministic — iteration stats
+//! are asserted identical across repeats — only the timing varies.
+
+use std::time::Instant;
+
+use adapt_experiments::bench::{
+    compare, report_value, BenchScenario, Comparison, PreparedScenario, ScenarioResult,
+    BENCH_MATRIX,
+};
+use adapt_telemetry::Value;
+
+struct PerfOptions {
+    iters: Option<usize>,
+    quick: bool,
+    out: Option<String>,
+    baseline: Option<String>,
+    threshold: f64,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<PerfOptions, String> {
+    let mut opts = PerfOptions {
+        iters: None,
+        quick: false,
+        out: None,
+        baseline: None,
+        threshold: 0.15,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("flag `{flag}` needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--iters" => {
+                let v = value("--iters")?;
+                opts.iters = Some(
+                    v.parse()
+                        .map_err(|_| format!("flag `--iters`: cannot parse `{v}`"))?,
+                );
+            }
+            "--threshold" => {
+                let v = value("--threshold")?;
+                opts.threshold = v
+                    .parse()
+                    .map_err(|_| format!("flag `--threshold`: cannot parse `{v}`"))?;
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--compare" => opts.baseline = Some(value("--compare")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: perf [--iters N] [--quick] [--out PATH] [--compare BASELINE] \
+                     [--threshold F]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_scenario(scenario: BenchScenario, iters: usize) -> ScenarioResult {
+    let prepared = match PreparedScenario::build(scenario) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("perf: scenario `{}` failed to build: {e}", scenario.name);
+            std::process::exit(1);
+        }
+    };
+    let mut wall_us: Vec<u64> = Vec::with_capacity(iters);
+    let mut stats = None;
+    for _ in 0..iters.max(1) {
+        let inputs = prepared.inputs();
+        let start = Instant::now();
+        let iter_stats = match prepared.execute(inputs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("perf: scenario `{}` failed: {e}", scenario.name);
+                std::process::exit(1);
+            }
+        };
+        let elapsed = start.elapsed();
+        wall_us.push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        // The determinism contract, checked on every iteration: timing
+        // may vary, simulated behaviour may not.
+        match &stats {
+            None => stats = Some(iter_stats),
+            Some(first) => assert_eq!(
+                *first, iter_stats,
+                "scenario `{}` diverged across iterations",
+                scenario.name
+            ),
+        }
+    }
+    let stats = stats.expect("at least one iteration ran");
+    ScenarioResult::from_samples(&scenario, prepared.tasks(), stats, &wall_us)
+        .expect("non-empty samples have a median")
+}
+
+fn comparison_value(cmp: &Comparison) -> Value {
+    let mut v = Value::object();
+    v.insert("threshold", cmp.threshold);
+    let deltas: Vec<Value> = cmp
+        .deltas
+        .iter()
+        .map(|d| {
+            let mut s = Value::object();
+            s.insert("baseline_events_per_sec", d.baseline_events_per_sec);
+            s.insert("current_events_per_sec", d.current_events_per_sec);
+            s.insert("name", d.name.as_str());
+            s.insert("regressed", d.regressed);
+            s.insert("speedup", d.speedup);
+            s
+        })
+        .collect();
+    v.insert("scenarios", Value::Array(deltas));
+    v
+}
+
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut results = Vec::with_capacity(BENCH_MATRIX.len());
+    for scenario in BENCH_MATRIX {
+        let iters = opts
+            .iters
+            .unwrap_or(if opts.quick { 1 } else { scenario.iters });
+        let r = run_scenario(scenario, iters);
+        println!(
+            "{:<8} nodes {:>5}  tasks {:>7}  iters {}  best {:>9} us  median {:>9} us  \
+             {:>12.0} events/s  peak queue {:>6}",
+            r.name,
+            r.nodes,
+            r.tasks,
+            r.iters,
+            r.best_wall_us,
+            r.median_wall_us,
+            r.events_per_sec,
+            r.peak_queue_depth
+        );
+        results.push(r);
+    }
+
+    let mut report = report_value(&results);
+
+    let comparison = opts.baseline.as_deref().map(|path| {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline = match adapt_trace::parse_value(text.trim()) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("perf: cannot parse baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match compare(&baseline, &report, opts.threshold) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("perf: comparison against {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+
+    if let Some(cmp) = &comparison {
+        report.insert("compared_to", comparison_value(cmp));
+        for d in &cmp.deltas {
+            println!(
+                "{:<8} {:>6.2}x vs baseline ({:.0} -> {:.0} events/s){}",
+                d.name,
+                d.speedup,
+                d.baseline_events_per_sec,
+                d.current_events_per_sec,
+                if d.regressed { "  REGRESSED" } else { "" }
+            );
+        }
+    }
+
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, report.to_json_pretty() + "\n") {
+            eprintln!("perf: cannot write report to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("bench report written to {path}");
+    }
+
+    if let Some(cmp) = &comparison {
+        if cmp.regressed() {
+            eprintln!(
+                "perf: throughput regression beyond {:.0}% threshold",
+                cmp.threshold * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod bench;
 pub mod cli;
 pub mod config;
 pub mod emulated;

@@ -4,10 +4,44 @@
 //! scenario × seed); this runs a worklist across scoped threads and
 //! returns results in input order.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use crossbeam::channel;
+
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// literal or a formatted message covers both arms; anything else gets a
+/// placeholder rather than losing the panic).
+fn panic_text(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Re-raises a caught closure panic with the item index that produced it.
+fn raise_item_panic(i: usize, payload: &(dyn Any + Send)) -> ! {
+    panic!(
+        "map_parallel: closure panicked on item {i}: {}",
+        panic_text(payload)
+    );
+}
 
 /// Applies `f` to every item on up to `available_parallelism` worker
 /// threads, preserving input order in the output.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic is caught (on the worker, or
+/// inline on the sequential fallback path), carried back, and re-raised
+/// here with the *originating item index* and the original message —
+/// `map_parallel: closure panicked on item {i}: {msg}` — instead of the
+/// bare "worker thread panicked" a scoped join would produce. When
+/// several items panic concurrently, the lowest-indexed one wins
+/// (deterministic across thread schedules).
 ///
 /// # Examples
 ///
@@ -28,41 +62,77 @@ where
         .unwrap_or(1)
         .min(items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(
+                |(i, item)| match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => r,
+                    Err(payload) => raise_item_panic(i, payload.as_ref()),
+                },
+            )
+            .collect();
     }
 
+    type Outcome<R> = Result<R, Box<dyn Any + Send>>;
     let (task_tx, task_rx) = channel::unbounded::<usize>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, Outcome<R>)>();
     for i in 0..items.len() {
-        task_tx.send(i).expect("channel open");
+        // The receiver outlives the loop, so this cannot fail; if it
+        // somehow did, the missing-result check below reports the index.
+        let _ = task_tx.send(i);
     }
     drop(task_tx);
 
-    crossbeam::thread::scope(|scope| {
+    let joined = crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             let task_rx = task_rx.clone();
             let result_tx = result_tx.clone();
             let f = &f;
             scope.spawn(move |_| {
                 while let Ok(i) = task_rx.recv() {
-                    let r = f(&items[i]);
-                    if result_tx.send((i, r)).is_err() {
+                    // Catch instead of unwinding across the scope join:
+                    // the payload travels back tagged with `i`, so the
+                    // re-raise can say *which item* blew up. Propagating
+                    // the panic keeps AssertUnwindSafe honest — no
+                    // broken state is ever observed.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                    let failed = outcome.is_err();
+                    if result_tx.send((i, outcome)).is_err() || failed {
                         break;
                     }
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
+    if let Err(payload) = joined {
+        // Unreachable (workers catch their panics), but never swallow.
+        std::panic::resume_unwind(payload);
+    }
     drop(result_tx);
 
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (i, r) in result_rx {
-        results[i] = Some(r);
+    let mut first_panic: Option<(usize, Box<dyn Any + Send>)> = None;
+    for (i, outcome) in result_rx {
+        match outcome {
+            Ok(r) => results[i] = Some(r),
+            Err(payload) => {
+                if first_panic.as_ref().is_none_or(|(pi, _)| i < *pi) {
+                    first_panic = Some((i, payload));
+                }
+            }
+        }
+    }
+    if let Some((i, payload)) = first_panic {
+        raise_item_panic(i, payload.as_ref());
     }
     results
         .into_iter()
-        .map(|r| r.expect("every task produced a result"))
+        .enumerate()
+        .map(|(i, r)| match r {
+            Some(r) => r,
+            None => panic!("map_parallel: item {i} produced no result"),
+        })
         .collect()
 }
 
@@ -86,6 +156,45 @@ mod tests {
     #[test]
     fn handles_single_item() {
         assert_eq!(map_parallel(&[7], |&x: &i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn panicking_closure_reports_item_index() {
+        let input: Vec<usize> = (0..16).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            map_parallel(&input, |&x| {
+                if x == 11 {
+                    panic!("boom on {x}");
+                }
+                x * 2
+            })
+        }))
+        .expect_err("a panicking closure must propagate");
+        let msg = panic_text(caught.as_ref());
+        assert!(
+            msg.contains("item 11") && msg.contains("boom on 11"),
+            "panic message must name the originating item and carry the \
+             original payload, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn lowest_panicking_index_wins() {
+        let input: Vec<usize> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            map_parallel(&input, |&x| {
+                if x % 2 == 1 {
+                    panic!("odd item");
+                }
+                x
+            })
+        }))
+        .expect_err("a panicking closure must propagate");
+        let msg = panic_text(caught.as_ref());
+        // Whatever the thread schedule, item 1 panics before any worker
+        // can drain the queue past it, and ties resolve to the lowest
+        // index deterministically.
+        assert!(msg.contains("item 1:"), "expected item 1, got: {msg}");
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //!   at the end of the map phase) plus compute burned by losing
 //!   speculative duplicates.
 
-use std::collections::BTreeSet;
+use adapt_ds::{IdSet, SortedVecSet};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -420,7 +420,7 @@ struct NodeState {
     up: bool,
     epoch: u64,
     running: Option<Attempt>,
-    local_pending: BTreeSet<usize>,
+    local_pending: SortedVecSet,
     /// End times of in-flight outbound block transfers served by this
     /// node (per-flow shaped; capacity bounded by `max_source_streams`).
     serving: Vec<f64>,
@@ -461,14 +461,20 @@ pub struct MapPhaseSim {
     slowdown: Vec<f64>,
     tasks: Vec<TaskState>,
     queue: EventQueue<Event>,
-    pending: BTreeSet<usize>,
-    stealable: BTreeSet<usize>,
-    running_set: BTreeSet<usize>,
+    pending: IdSet,
+    stealable: IdSet,
     /// Running tasks worth considering for speculation: a copy runs on a
     /// volatile host, or its transfer dominates its compute. Maintained
-    /// incrementally so the speculation scan never walks `running_set`.
-    spec_candidates: BTreeSet<usize>,
-    idle: BTreeSet<u32>,
+    /// incrementally so the speculation scan never walks every running
+    /// task.
+    spec_candidates: IdSet,
+    /// Idle up nodes, by node id (ascending scan = FIFO-by-id, matching
+    /// the Hadoop-0.20 behaviour the engine models).
+    idle: IdSet,
+    /// Scratch buffer for the freed-task hints passed to
+    /// `dispatch_idle`, reused across `Down`/`Up` events so the hot loop
+    /// stops allocating a fresh `Vec` per outage.
+    freed_buf: Vec<usize>,
     done_count: usize,
     // Metrics accumulators.
     rework: f64,
@@ -563,7 +569,7 @@ impl MapPhaseSim {
                 up: true,
                 epoch: 0,
                 running: None,
-                local_pending: BTreeSet::new(),
+                local_pending: SortedVecSet::new(),
                 serving: Vec::new(),
                 outbound: Vec::new(),
                 attempt_seq: 0,
@@ -578,7 +584,7 @@ impl MapPhaseSim {
             })
             .collect();
 
-        let mut pending = BTreeSet::new();
+        let mut pending = IdSet::new(tasks.len());
         for (i, task) in tasks.iter().enumerate() {
             pending.insert(i);
             for &r in &task.replicas {
@@ -587,17 +593,22 @@ impl MapPhaseSim {
         }
         let stealable = pending.clone(); // everyone starts up
 
+        // Queue high-water mark is bounded by one outage pair plus one
+        // attempt per node (plus slack for requeues in flight), so
+        // preallocating ~2n avoids every mid-run heap growth.
+        let queue = EventQueue::with_capacity(n * 2 + 16);
+        let spec_candidates = IdSet::new(tasks.len());
         Ok(MapPhaseSim {
             cfg,
             nodes,
             slowdown,
             tasks,
-            queue: EventQueue::new(),
+            queue,
             pending,
             stealable,
-            running_set: BTreeSet::new(),
-            spec_candidates: BTreeSet::new(),
-            idle: BTreeSet::new(),
+            spec_candidates,
+            idle: IdSet::new(n),
+            freed_buf: Vec::new(),
             done_count: 0,
             rework: 0.0,
             migration: 0.0,
@@ -772,7 +783,7 @@ impl MapPhaseSim {
             return Ok(false);
         }
         // 1. Local pending work.
-        if let Some(&task) = self.nodes[ni].local_pending.first() {
+        if let Some(task) = self.nodes[ni].local_pending.first() {
             self.start_task(n, task, t)?;
             return Ok(true);
         }
@@ -785,13 +796,10 @@ impl MapPhaseSim {
         // retried at later scheduling events.
         let mut chosen: Option<usize> = None;
         let mut chosen_risk = f64::NEG_INFINITY;
-        let scan: Vec<usize> = self
-            .stealable
-            .iter()
-            .copied()
-            .take(MAX_STEAL_SCAN)
-            .collect();
-        for task in scan {
+        // The scan only *reads* engine state; `stealable` is mutated
+        // after the loop (inside `start_task`), so the ascending bitset
+        // iterator can be consumed in place with no scratch collection.
+        for task in self.stealable.iter().take(MAX_STEAL_SCAN) {
             if self.admissible_source(task, t).is_none() {
                 continue;
             }
@@ -828,7 +836,7 @@ impl MapPhaseSim {
         // stuck behind a slow block transfer. (A copy on a host that went
         // down is not "running": the task returned to pending.)
         if self.cfg.speculation {
-            let candidate = self.spec_candidates.iter().copied().find(|&task| {
+            let candidate = self.spec_candidates.iter().find(|&task| {
                 let state = &self.tasks[task];
                 if state.running_on.len() >= self.cfg.max_copies || state.running_on.contains(&n) {
                     return false;
@@ -880,7 +888,7 @@ impl MapPhaseSim {
                 return Ok(true);
             }
         }
-        self.idle.insert(n);
+        self.idle.insert(n as usize);
         Ok(false)
     }
 
@@ -898,14 +906,23 @@ impl MapPhaseSim {
     /// (Completed-transfer entries are ignored by the count and pruned
     /// when the next transfer starts on the node.)
     fn admissible_source(&self, task: usize, t: f64) -> Option<u32> {
-        self.tasks[task]
-            .replicas
-            .iter()
-            .copied()
-            .filter(|&r| {
-                self.nodes[r as usize].up && self.active_streams(r, t) < self.cfg.max_source_streams
-            })
-            .min_by_key(|&r| self.active_streams(r, t))
+        // Single pass, counting each replica's streams once. Ties keep
+        // the *last* minimal replica — `Iterator::min_by_key` semantics,
+        // which the deterministic baselines were recorded under.
+        let mut best: Option<(usize, u32)> = None;
+        for &r in &self.tasks[task].replicas {
+            if !self.nodes[r as usize].up {
+                continue;
+            }
+            let streams = self.active_streams(r, t);
+            if streams >= self.cfg.max_source_streams {
+                continue;
+            }
+            if best.is_none_or(|(s, _)| streams <= s) {
+                best = Some((streams, r));
+            }
+        }
+        best.map(|(_, r)| r)
     }
 
     /// Estimated completion time of a fresh attempt of `task` on `n` at
@@ -936,7 +953,7 @@ impl MapPhaseSim {
         debug_assert!(self.nodes[ni].up && self.nodes[ni].running.is_none());
         self.attempts += 1;
         self.telemetry.attempts_started.incr();
-        self.idle.remove(&n);
+        self.idle.remove(ni);
 
         let local = self.tasks[task].replicas.contains(&n);
         let seq = self.nodes[ni].attempt_seq;
@@ -951,12 +968,19 @@ impl MapPhaseSim {
             let source = self
                 .admissible_source(task, t)
                 .or_else(|| {
-                    self.tasks[task]
-                        .replicas
-                        .iter()
-                        .copied()
-                        .filter(|&r| self.nodes[r as usize].up)
-                        .min_by_key(|&r| self.active_streams(r, t))
+                    // Least-loaded alive replica, admission bound waived;
+                    // `<=` keeps `min_by_key`'s last-wins tie order.
+                    let mut best: Option<(usize, u32)> = None;
+                    for &r in &self.tasks[task].replicas {
+                        if !self.nodes[r as usize].up {
+                            continue;
+                        }
+                        let streams = self.active_streams(r, t);
+                        if best.is_none_or(|(s, _)| streams <= s) {
+                            best = Some((streams, r));
+                        }
+                    }
+                    best.map(|(_, r)| r)
                 })
                 .ok_or(SimError::InvariantViolation {
                     what: "remote attempt started without an alive source replica",
@@ -1019,14 +1043,14 @@ impl MapPhaseSim {
         );
 
         // The task is no longer pending anywhere.
-        if self.pending.remove(&task) {
-            self.stealable.remove(&task);
-            for &r in &self.tasks[task].replicas.clone() {
+        if self.pending.remove(task) {
+            self.stealable.remove(task);
+            for ri in 0..self.tasks[task].replicas.len() {
+                let r = self.tasks[task].replicas[ri];
                 self.remove_local_pending(r, task, t);
             }
         }
         self.tasks[task].running_on.push(n);
-        self.running_set.insert(task);
         // Speculation bookkeeping: this attempt is rescue-worthy if its
         // host is volatile or its transfer dominates its compute.
         if self.slowdown[n as usize] > STRAGGLER_SLOWDOWN || compute_start - t > self.cfg.gamma {
@@ -1080,8 +1104,7 @@ impl MapPhaseSim {
         self.tasks[task].winner = Some(n);
         self.tasks[task].done = true;
         self.done_count += 1;
-        self.running_set.remove(&task);
-        self.spec_candidates.remove(&task);
+        self.spec_candidates.remove(task);
         self.tasks[task].running_on.retain(|&r| r != n);
 
         // Kill losing duplicates and let their nodes move on.
@@ -1150,8 +1173,7 @@ impl MapPhaseSim {
         let task = attempt.task;
         self.tasks[task].running_on.retain(|&r| r != n);
         if !self.tasks[task].done && self.tasks[task].running_on.is_empty() {
-            self.running_set.remove(&task);
-            self.spec_candidates.remove(&task);
+            self.spec_candidates.remove(task);
             if reason == KillReason::Interruption && self.cfg.detection_delay > 0.0 {
                 // The JobTracker has not noticed yet; the task re-enters
                 // the pending pool only after the heartbeat timeout.
@@ -1175,7 +1197,8 @@ impl MapPhaseSim {
             t,
         });
         self.pending.insert(task);
-        for &r in &self.tasks[task].replicas.clone() {
+        for ri in 0..self.tasks[task].replicas.len() {
+            let r = self.tasks[task].replicas[ri];
             self.add_local_pending(r, task, t);
         }
         if self.tasks[task]
@@ -1195,7 +1218,7 @@ impl MapPhaseSim {
         self.kill_attempt(n, t, KillReason::Interruption);
         self.nodes[ni].up = false;
         self.nodes[ni].down_since = Some(t);
-        self.idle.remove(&n);
+        self.idle.remove(ni);
         let up_at = self.nodes[ni].pending_up_at.max(t);
         self.queue.push(up_at, Event::Up(n));
 
@@ -1225,16 +1248,21 @@ impl MapPhaseSim {
 
         // Tasks stranded on this node lose their steal source if it was
         // the last alive replica. The killed task (if re-pending) may be
-        // picked up right away by an idle node.
-        let mut freed: Vec<usize> = Vec::new();
-        for task in self.nodes[ni].local_pending.clone() {
+        // picked up right away by an idle node. Indexed iteration: the
+        // handlers below never touch *this* node's `local_pending`
+        // (`remove_local_pending` only runs from `start_task`, and no
+        // task starts inside this loop), so no snapshot clone is needed.
+        let mut freed = std::mem::take(&mut self.freed_buf);
+        freed.clear();
+        for i in 0..self.nodes[ni].local_pending.len() {
+            let task = self.nodes[ni].local_pending.as_slice()[i];
             if !self.tasks[task]
                 .replicas
                 .iter()
                 .any(|&r| self.nodes[r as usize].up)
             {
-                self.stealable.remove(&task);
-            } else if self.pending.contains(&task) {
+                self.stealable.remove(task);
+            } else if self.pending.contains(task) {
                 freed.push(task);
             }
         }
@@ -1242,7 +1270,9 @@ impl MapPhaseSim {
         if !self.nodes[ni].local_pending.is_empty() {
             self.nodes[ni].recovery_mark = Some(t);
         }
-        self.dispatch_idle(t, &freed)
+        let result = self.dispatch_idle(t, &freed);
+        self.freed_buf = freed;
+        result
     }
 
     fn on_up(&mut self, n: u32, t: f64, rng: &mut StdRng) -> Result<(), SimError> {
@@ -1262,10 +1292,13 @@ impl MapPhaseSim {
             });
         }
         // Its stored blocks survive the outage: pending local tasks become
-        // stealable again.
-        let mut freed: Vec<usize> = Vec::new();
-        for task in self.nodes[ni].local_pending.clone() {
-            if self.pending.contains(&task) {
+        // stealable again. (No mutation of this node's `local_pending`
+        // happens in the loop body, so indexed iteration is safe.)
+        let mut freed = std::mem::take(&mut self.freed_buf);
+        freed.clear();
+        for i in 0..self.nodes[ni].local_pending.len() {
+            let task = self.nodes[ni].local_pending.as_slice()[i];
+            if self.pending.contains(task) {
                 self.stealable.insert(task);
                 freed.push(task);
             }
@@ -1275,9 +1308,13 @@ impl MapPhaseSim {
             self.nodes[ni].pending_up_at = outage.up_at;
             self.queue.push(outage.down_at, Event::Down(n));
         }
-        self.try_assign(n, t)?;
-        // This node returning may unblock idle nodes (new steal sources).
-        self.dispatch_idle(t, &freed)
+        let result = self.try_assign(n, t).and_then(|_| {
+            // This node returning may unblock idle nodes (new steal
+            // sources).
+            self.dispatch_idle(t, &freed)
+        });
+        self.freed_buf = freed;
+        result
     }
 
     /// Gives idle nodes a chance to pick up newly available work.
@@ -1286,18 +1323,19 @@ impl MapPhaseSim {
     fn dispatch_idle(&mut self, t: f64, freed: &[usize]) -> Result<(), SimError> {
         // Locality pass: idle replica holders of the freed tasks first.
         for &task in freed {
-            if !self.pending.contains(&task) {
+            if !self.pending.contains(task) {
                 continue;
             }
-            for &r in &self.tasks[task].replicas.clone() {
-                if self.idle.contains(&r) && self.try_assign(r, t)? {
+            for ri in 0..self.tasks[task].replicas.len() {
+                let r = self.tasks[task].replicas[ri];
+                if self.idle.contains(r as usize) && self.try_assign(r, t)? {
                     break;
                 }
             }
         }
         // General pass: first-come idle nodes until assignment fails.
-        while let Some(&n) = self.idle.first() {
-            if !self.try_assign(n, t)? {
+        while let Some(n) = self.idle.first() {
+            if !self.try_assign(n as u32, t)? {
                 break;
             }
         }
@@ -1316,7 +1354,7 @@ impl MapPhaseSim {
     /// Maintains `local_pending` plus the recovery clock of down nodes.
     fn remove_local_pending(&mut self, n: u32, task: usize, t: f64) {
         let ni = n as usize;
-        self.nodes[ni].local_pending.remove(&task);
+        self.nodes[ni].local_pending.remove(task);
         if self.nodes[ni].local_pending.is_empty() {
             if let Some(mark) = self.nodes[ni].recovery_mark.take() {
                 self.nodes[ni].recovery += t - mark;

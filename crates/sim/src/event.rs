@@ -3,9 +3,17 @@
 //! Events pop in non-decreasing time order; equal-time events pop in
 //! insertion order (a monotone sequence number breaks ties), which makes
 //! whole-cluster simulations bit-for-bit reproducible under a fixed seed.
+//!
+//! Backed by a 4-ary min-heap ([`adapt_ds::MinHeap4`]): over the total
+//! `(time, seq)` order the pop sequence is identical to the binary
+//! `std::collections::BinaryHeap` it replaced — heap arity is
+//! unobservable — but the tree is half as deep and
+//! [`with_capacity`](EventQueue::with_capacity) lets a simulation
+//! preallocate the queue once instead of growing it mid-run.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+
+use adapt_ds::MinHeap4;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry<E> {
@@ -30,11 +38,11 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap max-heap pops the earliest entry.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // Natural ascending order: the min-heap pops the earliest entry,
+        // FIFO among equal times.
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
     }
 }
 
@@ -56,15 +64,24 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: MinHeap4<Entry<E>>,
     seq: u64,
 }
 
-impl<E> EventQueue<E> {
+impl<E: Copy> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: MinHeap4::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events before any
+    /// reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: MinHeap4::with_capacity(capacity),
             seq: 0,
         }
     }
@@ -106,7 +123,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E: Copy> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue::new()
     }
@@ -166,6 +183,14 @@ mod tests {
         assert_eq!(q.pop(), Some((-1.0, "neg")));
     }
 
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(100);
+        assert!(q.is_empty());
+        q.push(1.0, "a");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+    }
+
     proptest! {
         #[test]
         fn pop_sequence_is_sorted(times in prop::collection::vec(0.0f64..1e6, 0..200)) {
@@ -178,6 +203,28 @@ mod tests {
                 prop_assert!(t >= prev);
                 prev = t;
             }
+        }
+
+        /// The 4-ary queue must agree with the `BinaryHeap` reference
+        /// model event for event — including FIFO order at duplicated
+        /// timestamps (`t` values are drawn from a small grid to force
+        /// collisions).
+        #[test]
+        fn matches_binary_heap_reference(times in prop::collection::vec(0u8..8, 0..200)) {
+            use std::collections::BinaryHeap;
+            #[derive(PartialEq, Eq, PartialOrd, Ord)]
+            struct RefEntry(std::cmp::Reverse<(u8, usize)>);
+
+            let mut q = EventQueue::new();
+            let mut model = BinaryHeap::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(f64::from(t), i);
+                model.push(RefEntry(std::cmp::Reverse((t, i))));
+            }
+            while let Some(RefEntry(std::cmp::Reverse((t, i)))) = model.pop() {
+                prop_assert_eq!(q.pop(), Some((f64::from(t), i)));
+            }
+            prop_assert_eq!(q.pop(), None);
         }
     }
 }

@@ -46,5 +46,5 @@ pub use analysis::{
 };
 pub use chrome::write_chrome;
 pub use event::{micros, KillCause, TraceEvent};
-pub use jsonl::{parse_jsonl, write_jsonl, TraceError};
+pub use jsonl::{parse_jsonl, parse_value, write_jsonl, TraceError};
 pub use recorder::{Trace, TraceMeta, TraceRecorder, FORMAT_TAG};
