@@ -175,7 +175,10 @@ impl Extend<f64> for Moments {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dist::{Exponential, Sample};
     use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn empty_accumulator_reports_zeroes() {
@@ -238,6 +241,30 @@ mod tests {
     }
 
     #[test]
+    fn exponential_moments_match_closed_form() {
+        // Exp with mean μ has variance μ² and coefficient of variation 1;
+        // the streaming accumulator must agree with the closed forms
+        // within sampling error.
+        for (mu, seed) in [(0.5, 21u64), (3.0, 22), (20.0, 23)] {
+            let d = Exponential::new(1.0 / mu).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m: Moments = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+            assert!(
+                (m.mean() - mu).abs() < 0.02 * mu,
+                "mean {} vs closed-form {mu}",
+                m.mean()
+            );
+            assert!(
+                (m.sample_variance() - mu * mu).abs() < 0.05 * mu * mu,
+                "variance {} vs closed-form {}",
+                m.sample_variance(),
+                mu * mu
+            );
+            assert!((m.cov() - 1.0).abs() < 0.05, "cov {} vs 1", m.cov());
+        }
+    }
+
+    #[test]
     fn extend_appends_observations() {
         let mut m: Moments = [1.0].into_iter().collect();
         m.extend([2.0, 3.0]);
@@ -277,6 +304,40 @@ mod tests {
             let m: Moments = xs.iter().copied().collect();
             prop_assert!(m.min() <= m.mean() + 1e-9);
             prop_assert!(m.mean() <= m.max() + 1e-9);
+        }
+
+        #[test]
+        fn deterministic_stream_matches_closed_form(
+            c in -1e6f64..1e6,
+            n in 1usize..500,
+        ) {
+            // A deterministic (constant) distribution has mean c and
+            // variance 0; the accumulator must report both without
+            // catastrophic cancellation regardless of magnitude.
+            let m: Moments = std::iter::repeat_n(c, n).collect();
+            prop_assert_eq!(m.count(), n as u64);
+            prop_assert!((m.mean() - c).abs() <= 1e-9 * (1.0 + c.abs()));
+            prop_assert!(m.sample_variance().abs() <= 1e-9 * (1.0 + c * c));
+            prop_assert_eq!(m.min(), c);
+            prop_assert_eq!(m.max(), c);
+        }
+
+        #[test]
+        fn mean_is_monotone_under_one_sided_pushes(
+            xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+            y in -1e6f64..1e6,
+        ) {
+            // Pushing a value at or above the current mean never lowers
+            // it, and symmetrically below: the running mean responds
+            // monotonically to where new mass lands.
+            let mut m: Moments = xs.iter().copied().collect();
+            let before = m.mean();
+            m.push(y);
+            if y >= before {
+                prop_assert!(m.mean() >= before - 1e-9 * (1.0 + before.abs()));
+            } else {
+                prop_assert!(m.mean() <= before + 1e-9 * (1.0 + before.abs()));
+            }
         }
     }
 }

@@ -331,6 +331,25 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_stream_estimates_exactly() {
+        // A degenerate (deterministic) distribution: every quantile of a
+        // constant stream is the constant itself, exactly — the marker
+        // interpolation must never drift off it.
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let mut p = P2::new(q).unwrap();
+            for _ in 0..10_000 {
+                p.push(7.25);
+            }
+            assert_eq!(p.estimate(), Some(7.25), "q = {q}");
+        }
+        let t: TailSummary = std::iter::repeat_n(7.25, 10_000).collect();
+        assert_eq!(t.p50(), Some(7.25));
+        assert_eq!(t.p90(), Some(7.25));
+        assert_eq!(t.p99(), Some(7.25));
+        assert_eq!(t.max(), Some(7.25));
+    }
+
+    #[test]
     fn non_finite_observations_are_ignored() {
         let mut t = TailSummary::new();
         t.push(f64::NAN);
@@ -355,6 +374,38 @@ mod tests {
             let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
             let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(est >= min - 1e-9 && est <= max + 1e-9, "estimate {est} outside [{min}, {max}]");
+        }
+
+        #[test]
+        fn estimates_are_monotone_in_q(
+            xs in prop::collection::vec(0.0f64..1e4, 20..400),
+        ) {
+            // Monotonicity across the quantile ladder: on one data
+            // stream, a higher q must not estimate lower. P² markers
+            // interpolate, so adjacent estimates may cross by a sliver;
+            // allow slack relative to the data range, as in
+            // `quantiles_are_ordered`.
+            let ladder = [0.1, 0.25, 0.5, 0.75, 0.9];
+            let mut estimators: Vec<P2> = ladder
+                .iter()
+                .map(|&q| P2::new(q).unwrap())
+                .collect();
+            for &x in &xs {
+                for p in &mut estimators {
+                    p.push(x);
+                }
+            }
+            let range = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let slack = 1e-9 + range * 0.05;
+            let estimates: Vec<f64> =
+                estimators.iter().map(|p| p.estimate().unwrap()).collect();
+            for window in estimates.windows(2) {
+                prop_assert!(
+                    window[0] <= window[1] + slack,
+                    "quantile estimates not monotone: {estimates:?}"
+                );
+            }
         }
 
         #[test]

@@ -8,8 +8,9 @@
 //!   or iterate an unordered map. These rules apply to *every* crate and
 //!   their allowlist must stay empty.
 //! * **robustness** — library code of the model/substrate crates
-//!   (`availability`, `core`, `dfs`, `ds`, `sim`, `trace`) must surface failures as
-//!   typed errors, not `unwrap()`/`expect()`/`panic!`. Test code
+//!   (`availability`, `core`, `dfs`, `ds`, `sim`, `trace`, `verify`)
+//!   must surface failures as typed errors, not
+//!   `unwrap()`/`expect()`/`panic!`. Test code
 //!   (`#[cfg(test)]`/`#[test]`) is exempt.
 //! * **numeric** — the model crates implement the paper's equations
 //!   (2)–(5); lossy `as` casts are flagged for audit, and any division
@@ -44,7 +45,15 @@ pub mod id {
 }
 
 /// Crates whose *library* code must be panic-free.
-pub const ROBUSTNESS_CRATES: [&str; 6] = ["availability", "core", "dfs", "ds", "sim", "trace"];
+pub const ROBUSTNESS_CRATES: [&str; 7] = [
+    "availability",
+    "core",
+    "dfs",
+    "ds",
+    "sim",
+    "trace",
+    "verify",
+];
 
 /// Files allowed to read wall-clock time: the perf harness *is* a
 /// wall-clock measurement, and its numbers are explicitly outside the

@@ -259,6 +259,16 @@ impl SimConfig {
         self
     }
 
+    /// The simulation horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Maximum concurrent copies of one task, including the original.
+    pub fn max_copies(&self) -> usize {
+        self.max_copies
+    }
+
     /// Per-node link bandwidth in Mb/s.
     pub fn bandwidth_mbps(&self) -> f64 {
         self.bandwidth_mbps

@@ -1,0 +1,90 @@
+//! Regression pin for `derive_totals`: a three-event trace whose every
+//! derived field is computed by hand below, so any change to the
+//! derivation arithmetic — bucket assignment, clamping, finalize order —
+//! trips this test with an exact diff rather than a drifting aggregate.
+
+use adapt_trace::{derive_totals, DerivedTotals, KillCause, Trace, TraceEvent, TraceMeta};
+
+/// Two nodes, two tasks, γ = 10 s, run cut off at 30 s:
+///
+/// 1. Node 1 goes down at t = 5 and never returns.
+/// 2. That outage kills node 1's local attempt on task 1, which had
+///    computed since t = 0: five seconds of lost compute.
+/// 3. Node 0 wins task 0 remotely: assigned at t = 0, the block arrives
+///    at t = 8, compute runs 8 → 18.
+fn three_event_trace() -> Trace {
+    let meta = TraceMeta {
+        nodes: 2,
+        tasks: 2,
+        gamma: 10.0,
+        block_bytes: 64 << 20,
+        seed: 9,
+        elapsed: 30.0,
+        completed: true,
+    };
+    let events = vec![
+        TraceEvent::NodeDown { node: 1, t: 5.0 },
+        TraceEvent::AttemptKilled {
+            node: 1,
+            task: 1,
+            attempt: 0,
+            local: true,
+            start: 0.0,
+            compute_start: 0.0,
+            end: 5.0,
+            reason: KillCause::Interruption,
+        },
+        TraceEvent::AttemptWon {
+            node: 0,
+            task: 0,
+            attempt: 0,
+            local: false,
+            start: 0.0,
+            compute_start: 8.0,
+            end: 18.0,
+        },
+    ];
+    Trace { meta, events }
+}
+
+#[test]
+fn derive_totals_matches_the_hand_computation() {
+    // By hand:
+    // * rework: the killed attempt lost clamp(5 − 0, 0, γ) = 5 s.
+    // * migration: the remote win waited 8 − 0 = 8 s for its block.
+    // * busy: node 0 holds 18 − 0 = 18 s, node 1 holds 5 − 0 = 5 s.
+    // * downtime: node 1 is down from 5 to the 30 s cutoff = 25 s, so
+    //   its uptime is 5 s, exactly its busy time — no idle. Node 0 is up
+    //   all 30 s with 18 s busy: 12 s up-idle.
+    // * misc = up-idle + duplicate compute = 12 + 0 = 12 s.
+    // * recovery: no RecoverySpan events (open downtime is downtime,
+    //   not recovery) = 0.
+    let expected = DerivedTotals {
+        rework_us: 5_000_000,
+        recovery_us: 0,
+        migration_us: 8_000_000,
+        misc_us: 12_000_000,
+        elapsed_us: 30_000_000,
+        attempts_started: 0,
+        transfers_started: 0,
+        interruptions: 1,
+        kills_interruption: 1,
+        kills_source_lost: 0,
+        speculative_losses: 0,
+        speculative_attempts: 0,
+        requeues: 0,
+        blocks_placed: 0,
+        blocks_rebalanced: 0,
+    };
+    assert_eq!(derive_totals(&three_event_trace()), expected);
+}
+
+#[test]
+fn derived_totals_serialize_deterministically() {
+    let totals = derive_totals(&three_event_trace());
+    let json = totals.to_value().to_json();
+    assert_eq!(json, totals.to_value().to_json());
+    assert!(json.contains("\"rework_us\":5000000"));
+    assert!(json.contains("\"migration_us\":8000000"));
+    assert!(json.contains("\"misc_us\":12000000"));
+}

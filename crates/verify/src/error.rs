@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+use adapt_availability::AvailabilityError;
+use adapt_dfs::DfsError;
+use adapt_sim::SimError;
+
+/// Errors produced while building or checking a verification scenario.
+///
+/// A *divergence* between the engines is not an error — it is the
+/// oracle's result (see [`crate::oracle::Divergence`]); `VerifyError`
+/// covers only failures to construct or run the check itself.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The simulator rejected the scenario or failed while running it.
+    Sim(SimError),
+    /// The availability model rejected its parameters.
+    Availability(AvailabilityError),
+    /// The DFS substrate rejected a placement request.
+    Dfs(DfsError),
+    /// A scenario was internally inconsistent before reaching any engine.
+    InvalidScenario {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Sim(e) => write!(f, "simulation failed: {e}"),
+            VerifyError::Availability(e) => write!(f, "availability model failed: {e}"),
+            VerifyError::Dfs(e) => write!(f, "dfs operation failed: {e}"),
+            VerifyError::InvalidScenario { reason } => {
+                write!(f, "invalid scenario: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Sim(e) => Some(e),
+            VerifyError::Availability(e) => Some(e),
+            VerifyError::Dfs(e) => Some(e),
+            VerifyError::InvalidScenario { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for VerifyError {
+    fn from(e: SimError) -> Self {
+        VerifyError::Sim(e)
+    }
+}
+
+impl From<AvailabilityError> for VerifyError {
+    fn from(e: AvailabilityError) -> Self {
+        VerifyError::Availability(e)
+    }
+}
+
+impl From<DfsError> for VerifyError {
+    fn from(e: DfsError) -> Self {
+        VerifyError::Dfs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_work() {
+        let e = VerifyError::from(SimError::InvalidConfig {
+            name: "gamma",
+            reason: "bad".into(),
+        });
+        assert!(e.to_string().contains("gamma"));
+        assert!(e.source().is_some());
+        let e = VerifyError::InvalidScenario {
+            reason: "no nodes".into(),
+        };
+        assert!(e.to_string().contains("no nodes"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! The seeded scenario fuzzer: a deterministic generator of random
+//! clusters, placements, and failure regimes.
+//!
+//! [`generate`] is a pure function of the seed — the same seed always
+//! yields the same [`Scenario`] — so a CI corpus is reproducible and any
+//! failure can be replayed from its seed alone. The generator
+//! deliberately oversamples the regimes where the engines are most
+//! likely to disagree:
+//!
+//! * near-saturation interruption load (ρ = λμ up to 0.95) where the
+//!   equation-(5) slowdown explodes and speculation churns;
+//! * MTBI shorter than a single block's compute time γ, so every
+//!   attempt races its host's next interruption;
+//! * scheduled outages at t = 0 and whole-cluster blackout windows,
+//!   which exercise the stranded-task and recovery bookkeeping.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use adapt_availability::dist::uniform_open01;
+
+use crate::scenario::{NodeKind, Scenario};
+
+/// Interruption-to-recovery load factors ρ = λμ the generator draws
+/// from, including the near-saturation regime.
+const RHO_REGIMES: [f64; 5] = [0.2, 0.4, 0.8, 0.9, 0.95];
+
+/// Mean-time-between-interruption choices, seconds. The 1-second entry
+/// is shorter than every γ choice, forcing mid-compute interruptions.
+const MTBI_REGIMES: [f64; 4] = [1.0, 10.0, 50.0, 200.0];
+
+/// Failure-free per-block compute times, seconds.
+const GAMMA_REGIMES: [f64; 3] = [2.0, 5.0, 12.0];
+
+/// Link bandwidths, Mb/s (the paper sweeps 4–32).
+const BANDWIDTH_REGIMES: [f64; 3] = [4.0, 8.0, 32.0];
+
+/// Block sizes, bytes.
+const BLOCK_REGIMES: [u64; 3] = [64 << 20, 16 << 20, 8 << 20];
+
+/// Simulation horizons, seconds (bounded so a fuzz corpus has bounded
+/// wall-clock even in unstable regimes).
+const HORIZON_REGIMES: [f64; 3] = [1_000.0, 5_000.0, 20_000.0];
+
+fn pick(rng: &mut StdRng, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    rng.next_u64() % n
+}
+
+fn chance(rng: &mut StdRng, num: u64, den: u64) -> bool {
+    pick(rng, den) < num
+}
+
+fn choose_f64(rng: &mut StdRng, options: &[f64]) -> f64 {
+    options[pick(rng, options.len() as u64) as usize]
+}
+
+/// Generates one node's outage windows inside `[cursor, horizon)`,
+/// sorted and non-overlapping; `down_at_zero` forces the first window
+/// to start at t = 0.
+fn scheduled_windows(rng: &mut StdRng, horizon: f64, down_at_zero: bool) -> Vec<(f64, f64)> {
+    let mut windows = Vec::new();
+    let mut cursor = 0.0f64;
+    if down_at_zero {
+        let duration = uniform_open01(rng) * (horizon * 0.05);
+        windows.push((0.0, duration));
+        cursor = duration;
+    }
+    let extra = pick(rng, 4);
+    for _ in 0..extra {
+        let gap = uniform_open01(rng) * (horizon * 0.2);
+        let start = cursor + gap;
+        if start >= horizon {
+            break;
+        }
+        // Occasionally a zero-length outage: down and up at the same
+        // instant, a queue tie-break edge case worth hunting in.
+        let duration = if chance(rng, 1, 8) {
+            0.0
+        } else {
+            uniform_open01(rng) * (horizon * 0.05)
+        };
+        windows.push((start, duration));
+        cursor = start + duration;
+    }
+    windows
+}
+
+/// Deterministically generates the scenario for `seed`.
+pub fn generate(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_nodes = 1 + pick(&mut rng, 12) as usize;
+    let n_tasks = 1 + pick(&mut rng, 40) as usize;
+    let replication = (1 + pick(&mut rng, 3) as usize).min(n_nodes);
+    let gamma = choose_f64(&mut rng, &GAMMA_REGIMES);
+    let bandwidth_mbps = choose_f64(&mut rng, &BANDWIDTH_REGIMES);
+    let block_bytes = BLOCK_REGIMES[pick(&mut rng, BLOCK_REGIMES.len() as u64) as usize];
+    let horizon = choose_f64(&mut rng, &HORIZON_REGIMES);
+    let speculation = chance(&mut rng, 3, 4);
+    let max_copies = 1 + pick(&mut rng, 3) as usize;
+    let max_source_streams = 1 + pick(&mut rng, 4) as usize;
+    let availability_aware = chance(&mut rng, 1, 2);
+    let detection_delay = if chance(&mut rng, 1, 4) { 5.0 } else { 0.0 };
+    let fetch_failure = chance(&mut rng, 1, 3);
+
+    // With probability 1/8 every node shares one blackout window: the
+    // whole cluster is down at once, so every task strands.
+    let blackout = if chance(&mut rng, 1, 8) {
+        let start = uniform_open01(&mut rng) * (horizon * 0.3);
+        let duration = uniform_open01(&mut rng) * (horizon * 0.05);
+        Some((start, duration))
+    } else {
+        None
+    };
+
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        if let Some(window) = blackout {
+            nodes.push(NodeKind::Scheduled {
+                outages: vec![window],
+            });
+            continue;
+        }
+        let kind = match pick(&mut rng, 3) {
+            0 => NodeKind::Reliable,
+            1 => {
+                let mtbi = choose_f64(&mut rng, &MTBI_REGIMES);
+                let rho = choose_f64(&mut rng, &RHO_REGIMES);
+                NodeKind::Synthetic {
+                    mtbi,
+                    mean_recovery: rho * mtbi,
+                }
+            }
+            _ => {
+                let down_at_zero = chance(&mut rng, 1, 4);
+                NodeKind::Scheduled {
+                    outages: scheduled_windows(&mut rng, horizon, down_at_zero),
+                }
+            }
+        };
+        nodes.push(kind);
+    }
+
+    let mut placement = Vec::with_capacity(n_tasks);
+    for _ in 0..n_tasks {
+        let mut replicas: Vec<u32> = Vec::with_capacity(replication);
+        while replicas.len() < replication {
+            let candidate = pick(&mut rng, n_nodes as u64) as u32;
+            if !replicas.contains(&candidate) {
+                replicas.push(candidate);
+            }
+        }
+        placement.push(replicas);
+    }
+
+    Scenario {
+        seed,
+        nodes,
+        placement,
+        bandwidth_mbps,
+        block_bytes,
+        gamma,
+        speculation,
+        max_copies,
+        max_source_streams,
+        availability_aware,
+        detection_delay,
+        fetch_failure,
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..64 {
+            assert_eq!(generate(seed), generate(seed));
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_are_valid() {
+        for seed in 0..64 {
+            let s = generate(seed);
+            assert!(!s.nodes.is_empty());
+            assert!(!s.placement.is_empty());
+            s.processes().expect("valid processes");
+            s.sim_config().expect("valid config");
+            for replicas in &s.placement {
+                assert!(!replicas.is_empty());
+                for &r in replicas {
+                    assert!((r as usize) < s.nodes.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_covers_the_adversarial_regimes() {
+        let mut saw_blackout = false;
+        let mut saw_down_at_zero = false;
+        let mut saw_short_mtbi = false;
+        let mut saw_near_saturation = false;
+        for seed in 0..256 {
+            let s = generate(seed);
+            let mut scheduled_total = 0usize;
+            let mut scheduled_at_zero = 0usize;
+            for kind in &s.nodes {
+                match kind {
+                    NodeKind::Scheduled { outages } => {
+                        scheduled_total += 1;
+                        if outages.first().is_some_and(|&(start, _)| start == 0.0) {
+                            scheduled_at_zero += 1;
+                        }
+                    }
+                    NodeKind::Synthetic {
+                        mtbi,
+                        mean_recovery,
+                    } => {
+                        if *mtbi < s.gamma {
+                            saw_short_mtbi = true;
+                        }
+                        if mean_recovery / mtbi >= 0.9 {
+                            saw_near_saturation = true;
+                        }
+                    }
+                    NodeKind::Reliable => {}
+                }
+            }
+            if scheduled_total == s.nodes.len() && scheduled_total > 1 {
+                saw_blackout = true;
+            }
+            if scheduled_at_zero > 0 {
+                saw_down_at_zero = true;
+            }
+        }
+        assert!(saw_blackout, "corpus never generated a blackout window");
+        assert!(saw_down_at_zero, "corpus never generated a t=0 outage");
+        assert!(saw_short_mtbi, "corpus never generated MTBI < gamma");
+        assert!(
+            saw_near_saturation,
+            "corpus never generated a near-saturation node"
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Metamorphic properties of the availability model and the placement
+//! algorithm.
+//!
+//! These checks do not need a second implementation to compare against;
+//! they exploit relations the *mathematics* guarantees:
+//!
+//! 1. **Monte Carlo ↔ equation (5)** — simulating the generative process
+//!    of equation (1) (Poisson interruptions, restart-from-scratch,
+//!    M/G/1 recovery busy periods) must reproduce the closed-form
+//!    E\[T\] = (e^{γλ} − 1)(1/λ + μ/(1 − λμ)) within the sampling error of
+//!    the estimate ([`monte_carlo_check`]).
+//! 2. **Time-scaling invariance** — rescaling every rate consistently
+//!    (λ → λ/c, μ → μ·c, γ → γ·c) multiplies every node's E\[T\] by
+//!    exactly c, so ADAPT's *normalized* placement weights are invariant
+//!    ([`weights_scale_invariant`]).
+//! 3. **Permutation equivariance** — relabeling nodes permutes the
+//!    weights the same way ([`weights_permutation_equivariant`]).
+//! 4. **Threshold cap** — any file placed under the paper's default
+//!    threshold stores at most ⌈m(k+1)/n⌉ blocks on any node, except
+//!    where the NameNode explicitly recorded a cap relaxation to keep a
+//!    replica placeable — and then the total excess is bounded by the
+//!    relaxation count ([`threshold_cap_holds`]).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use adapt_availability::dist::Dist;
+use adapt_availability::{Moments, TaskModel};
+use adapt_core::{AdaptPolicy, PerformancePredictor};
+use adapt_dfs::cluster::{NodeAvailability, NodeSpec};
+use adapt_dfs::namenode::{NameNode, Threshold};
+use adapt_dfs::placement::{ClusterView, NodeView};
+use adapt_dfs::NodeId;
+
+use crate::VerifyError;
+
+/// Result of one Monte-Carlo bracketing check of equation (5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct McCheck {
+    /// Interruption rate λ.
+    pub lambda: f64,
+    /// Mean recovery μ.
+    pub mu: f64,
+    /// Failure-free task time γ.
+    pub gamma: f64,
+    /// The load factor ρ = λμ.
+    pub rho: f64,
+    /// The closed-form E\[T\] of equation (5).
+    pub expected: f64,
+    /// The Monte-Carlo estimate of E\[T\].
+    pub estimate: f64,
+    /// Half-width of the confidence interval around the estimate.
+    pub halfwidth: f64,
+    /// Samples drawn.
+    pub samples: usize,
+    /// Whether `expected` lies inside `estimate ± halfwidth`.
+    pub pass: bool,
+}
+
+/// The z-score used for the Monte-Carlo confidence interval: 3.89
+/// corresponds to a two-sided confidence level of 99.99%, so a fixed
+/// seed corpus of dozens of regime checks has comfortably less than a
+/// percent total false-alarm budget while still detecting any real
+/// model/simulation disagreement (which grows with √n, not a constant).
+pub const MC_Z: f64 = 3.89;
+
+/// Simulates `samples` task executions under exponential recoveries and
+/// checks that the closed-form E\[T\] lies within the `MC_Z`-sigma
+/// confidence interval of the sample mean.
+///
+/// # Errors
+///
+/// [`VerifyError::Availability`] for out-of-domain parameters (including
+/// unstable ρ = λμ ≥ 1, which equation (5) excludes).
+pub fn monte_carlo_check(
+    lambda: f64,
+    mu: f64,
+    gamma: f64,
+    samples: usize,
+    seed: u64,
+) -> Result<McCheck, VerifyError> {
+    let model = TaskModel::new(lambda, mu, gamma)?;
+    let recovery = Dist::exponential_from_mean(mu)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut moments = Moments::new();
+    for _ in 0..samples {
+        moments.push(model.simulate_completion(&recovery, &mut rng));
+    }
+    let estimate = moments.mean();
+    let halfwidth = MC_Z * moments.std_dev() / (samples as f64).sqrt();
+    let expected = model.expected_completion();
+    Ok(McCheck {
+        lambda,
+        mu,
+        gamma,
+        rho: lambda * mu,
+        expected,
+        estimate,
+        halfwidth,
+        samples,
+        pass: (estimate - expected).abs() <= halfwidth,
+    })
+}
+
+/// The `(γλ, ρ)` regimes the CI gate runs [`monte_carlo_check`] over.
+/// Three span light to heavy interruption pressure; the last two sit at
+/// and above ρ = 0.9, the near-saturation regime the paper's placement
+/// advantage depends on.
+pub const MC_REGIMES: [(f64, f64, f64); 4] = [
+    // (lambda, mu, gamma): gamma*lambda = 0.12, rho = 0.2
+    (0.01, 20.0, 12.0),
+    // gamma*lambda = 1.2, rho = 0.8
+    (0.1, 8.0, 12.0),
+    // gamma*lambda = 0.6, rho = 0.9
+    (0.05, 18.0, 12.0),
+    // gamma*lambda = 0.6, rho = 0.95
+    (0.05, 19.0, 12.0),
+];
+
+fn view(specs: &[NodeAvailability]) -> ClusterView {
+    ClusterView::new(
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &availability)| NodeView {
+                id: NodeId(i as u32),
+                availability,
+                alive: true,
+                stored_blocks: 0,
+                capacity_blocks: None,
+            })
+            .collect(),
+    )
+}
+
+fn normalized_rates(gamma: f64, specs: &[NodeAvailability]) -> Result<Vec<f64>, VerifyError> {
+    let predictor = PerformancePredictor::new(gamma)?;
+    let rates = predictor.rates(&view(specs));
+    let total: f64 = rates.rates().iter().sum();
+    if total <= 0.0 {
+        return Err(VerifyError::InvalidScenario {
+            reason: "cluster has no usable node".into(),
+        });
+    }
+    Ok(rates.rates().iter().map(|r| r / total).collect())
+}
+
+/// Checks that uniformly rescaling time — λ → λ/c, μ → μ·c, γ → γ·c —
+/// leaves the normalized ADAPT weights unchanged (every E\[T\] scales by
+/// exactly c, which cancels in the normalization). Returns the largest
+/// absolute weight difference observed.
+///
+/// # Errors
+///
+/// [`VerifyError`] if either cluster has no usable node or a parameter
+/// leaves its domain after scaling.
+pub fn weights_scale_invariant(
+    gamma: f64,
+    specs: &[NodeAvailability],
+    c: f64,
+) -> Result<f64, VerifyError> {
+    let base = normalized_rates(gamma, specs)?;
+    let scaled_specs: Result<Vec<NodeAvailability>, VerifyError> = specs
+        .iter()
+        .map(|a| {
+            if a.is_reliable() {
+                Ok(NodeAvailability::reliable())
+            } else {
+                let model = a.task_model(gamma)?.ok_or(VerifyError::InvalidScenario {
+                    reason: "non-reliable node without a task model".into(),
+                })?;
+                let mtbi = c / model.lambda();
+                Ok(NodeAvailability::from_mtbi(mtbi, model.mu() * c)?)
+            }
+        })
+        .collect();
+    let scaled = normalized_rates(gamma * c, &scaled_specs?)?;
+    Ok(base
+        .iter()
+        .zip(scaled.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Checks that relabeling nodes permutes the normalized weights the same
+/// way. `perm[i]` is the new index of original node `i`. Returns the
+/// largest absolute weight difference observed.
+///
+/// # Errors
+///
+/// [`VerifyError`] if the cluster has no usable node or `perm` is not a
+/// permutation of `0..specs.len()`.
+pub fn weights_permutation_equivariant(
+    gamma: f64,
+    specs: &[NodeAvailability],
+    perm: &[usize],
+) -> Result<f64, VerifyError> {
+    if perm.len() != specs.len() {
+        return Err(VerifyError::InvalidScenario {
+            reason: "permutation length mismatch".into(),
+        });
+    }
+    let mut seen = vec![false; specs.len()];
+    let mut permuted = vec![NodeAvailability::reliable(); specs.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        if p >= specs.len() || seen[p] {
+            return Err(VerifyError::InvalidScenario {
+                reason: "perm is not a permutation".into(),
+            });
+        }
+        seen[p] = true;
+        permuted[p] = specs[i];
+    }
+    let base = normalized_rates(gamma, specs)?;
+    let after = normalized_rates(gamma, &permuted)?;
+    Ok(perm
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (base[i] - after[p]).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Places a file of `blocks` blocks with `replication` replicas under
+/// ADAPT and [`Threshold::PaperDefault`], then checks the paper's
+/// `⌈m(k+1)/n⌉` cap against its exact contract: the NameNode relaxes
+/// the cap only when a replica has *no* under-cap candidate (counting
+/// each relaxation in its `threshold_rejections` telemetry), so the
+/// total over-cap placement excess across all nodes can never exceed
+/// the recorded relaxation count — and with zero relaxations the cap
+/// holds hard on every node. Returns the observed per-node maximum.
+///
+/// # Errors
+///
+/// [`VerifyError::Dfs`] if placement fails, [`VerifyError`] variants for
+/// invalid model parameters or a cap violation.
+pub fn threshold_cap_holds(
+    gamma: f64,
+    specs: Vec<NodeSpec>,
+    blocks: usize,
+    replication: usize,
+    seed: u64,
+) -> Result<usize, VerifyError> {
+    let n = specs.len();
+    let mut namenode = NameNode::new(specs);
+    let mut policy = AdaptPolicy::new(gamma)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let file = namenode.create_file(
+        "verify-threshold",
+        blocks,
+        replication,
+        &mut policy,
+        Threshold::PaperDefault,
+        &mut rng,
+    )?;
+    let distribution = namenode.file_distribution(file)?;
+    let observed_max = distribution.iter().copied().max().unwrap_or(0);
+    let cap = Threshold::PaperDefault
+        .cap(blocks, replication, n)
+        .unwrap_or(usize::MAX);
+    let relaxations = namenode.telemetry().threshold_rejections.get() as usize;
+    let excess: usize = distribution
+        .iter()
+        .map(|&count| count.saturating_sub(cap))
+        .sum();
+    if excess > relaxations {
+        return Err(VerifyError::InvalidScenario {
+            reason: format!(
+                "threshold violated: over-cap excess {excess} exceeds the {relaxations} \
+                 recorded relaxations (max load {observed_max}, cap {cap}, \
+                 m={blocks}, k={replication}, n={n})"
+            ),
+        });
+    }
+    Ok(observed_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_cluster() -> Vec<NodeAvailability> {
+        vec![
+            NodeAvailability::reliable(),
+            NodeAvailability::from_mtbi(100.0, 20.0).expect("valid"),
+            NodeAvailability::from_mtbi(10.0, 4.0).expect("valid"),
+            NodeAvailability::from_mtbi(50.0, 45.0).expect("valid"),
+        ]
+    }
+
+    #[test]
+    fn monte_carlo_brackets_light_regime() {
+        let check = monte_carlo_check(0.01, 20.0, 12.0, 40_000, 11).unwrap();
+        assert!(check.pass, "{check:?}");
+    }
+
+    #[test]
+    fn scale_invariance_on_mixed_cluster() {
+        for c in [2.0, 10.0, 0.5] {
+            let diff = weights_scale_invariant(12.0, &mixed_cluster(), c).unwrap();
+            assert!(diff < 1e-9, "weights moved by {diff} under c={c}");
+        }
+    }
+
+    #[test]
+    fn permutation_equivariance_on_mixed_cluster() {
+        let diff = weights_permutation_equivariant(12.0, &mixed_cluster(), &[2, 0, 3, 1]).unwrap();
+        assert!(diff < 1e-12, "weights moved by {diff} under relabeling");
+    }
+
+    #[test]
+    fn permutation_validation_rejects_bad_perm() {
+        assert!(weights_permutation_equivariant(12.0, &mixed_cluster(), &[0, 0, 1, 2]).is_err());
+        assert!(weights_permutation_equivariant(12.0, &mixed_cluster(), &[0]).is_err());
+    }
+
+    #[test]
+    fn threshold_cap_on_a_skewed_cluster() {
+        let mut specs = vec![NodeSpec::new(NodeAvailability::reliable()); 2];
+        for _ in 0..6 {
+            specs.push(NodeSpec::new(
+                NodeAvailability::from_mtbi(10.0, 9.0).expect("valid"),
+            ));
+        }
+        // Heavily skewed weights: without the cap the two reliable nodes
+        // would absorb nearly everything.
+        let max = threshold_cap_holds(12.0, specs, 64, 2, 3).unwrap();
+        let cap = Threshold::PaperDefault.cap(64, 2, 8).unwrap();
+        assert!(max <= cap);
+    }
+}

@@ -1,0 +1,187 @@
+//! The differential oracle: run both engines on one scenario and
+//! explain the first difference, if any.
+
+use adapt_sim::engine::DetailedReport;
+use adapt_telemetry::Value;
+
+use crate::scenario::Scenario;
+use crate::VerifyError;
+
+/// A difference between the optimized and reference engines on one
+/// scenario — the oracle's falsification evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Which part of the [`DetailedReport`] differed first.
+    pub field: &'static str,
+    /// Human-readable description of the difference.
+    pub details: String,
+}
+
+impl Divergence {
+    /// Serializes the divergence as a JSON object with stable keys.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("details", self.details.as_str());
+        v.insert("field", self.field);
+        v
+    }
+}
+
+/// Compares two detailed reports field group by field group, returning
+/// the first difference. `None` means byte-equal behaviour.
+pub fn compare_reports(
+    optimized: &DetailedReport,
+    reference: &DetailedReport,
+) -> Option<Divergence> {
+    if optimized.report != reference.report {
+        return Some(Divergence {
+            field: "report",
+            details: format!(
+                "optimized {:?} != reference {:?}",
+                optimized.report, reference.report
+            ),
+        });
+    }
+    if optimized.node_stats != reference.node_stats {
+        let first = optimized
+            .node_stats
+            .iter()
+            .zip(reference.node_stats.iter())
+            .position(|(a, b)| a != b);
+        return Some(Divergence {
+            field: "node_stats",
+            details: match first {
+                Some(i) => format!(
+                    "node {i}: optimized {:?} != reference {:?}",
+                    optimized.node_stats[i], reference.node_stats[i]
+                ),
+                None => format!(
+                    "length {} != {}",
+                    optimized.node_stats.len(),
+                    reference.node_stats.len()
+                ),
+            },
+        });
+    }
+    if optimized.winners != reference.winners {
+        return Some(Divergence {
+            field: "winners",
+            details: format!(
+                "optimized {:?} != reference {:?}",
+                optimized.winners, reference.winners
+            ),
+        });
+    }
+    if optimized.telemetry != reference.telemetry {
+        return Some(Divergence {
+            field: "telemetry",
+            details: format!(
+                "optimized {:?} != reference {:?}",
+                optimized.telemetry, reference.telemetry
+            ),
+        });
+    }
+    match (&optimized.trace, &reference.trace) {
+        (Some(a), Some(b)) if a != b => {
+            let (ae, be) = (&a.events, &b.events);
+            let first = ae.iter().zip(be.iter()).position(|(x, y)| x != y);
+            return Some(Divergence {
+                field: "trace",
+                details: match first {
+                    Some(i) => format!("event {i}: optimized {:?} != reference {:?}", ae[i], be[i]),
+                    None => format!("event count {} != {}", ae.len(), be.len()),
+                },
+            });
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            return Some(Divergence {
+                field: "trace",
+                details: "one engine produced a trace and the other did not".into(),
+            });
+        }
+        _ => {}
+    }
+    None
+}
+
+/// Runs both engines on `scenario` (traced) and compares everything:
+/// the aggregate report, per-node stats, winners, telemetry, and the
+/// full event trace. Also cross-checks the engine's
+/// zero-overhead-tracing contract (traced and untraced optimized runs
+/// must report identical metrics).
+///
+/// # Errors
+///
+/// [`VerifyError`] if either engine rejects the scenario — a rejection
+/// mismatch (one engine accepts what the other rejects) is itself
+/// reported as a divergence, not an error.
+pub fn check_scenario(scenario: &Scenario) -> Result<Option<Divergence>, VerifyError> {
+    let optimized = scenario.run_optimized(true);
+    let reference = scenario.run_reference(true);
+    let (optimized, reference) = match (optimized, reference) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(a), Err(b)) => {
+            return if a == b {
+                Ok(None)
+            } else {
+                Ok(Some(Divergence {
+                    field: "error",
+                    details: format!("optimized error {a} != reference error {b}"),
+                }))
+            };
+        }
+        (Ok(_), Err(e)) => {
+            return Ok(Some(Divergence {
+                field: "error",
+                details: format!("reference rejected what the optimized engine ran: {e}"),
+            }));
+        }
+        (Err(e), Ok(_)) => {
+            return Ok(Some(Divergence {
+                field: "error",
+                details: format!("optimized rejected what the reference engine ran: {e}"),
+            }));
+        }
+    };
+    if let Some(d) = compare_reports(&optimized, &reference) {
+        return Ok(Some(d));
+    }
+    // Tracing must not perturb behaviour: re-run the optimized engine
+    // untraced and require identical metrics.
+    let untraced = scenario.run_optimized(false)?;
+    if untraced.report != optimized.report
+        || untraced.node_stats != optimized.node_stats
+        || untraced.winners != optimized.winners
+        || untraced.telemetry != optimized.telemetry
+    {
+        return Ok(Some(Divergence {
+            field: "trace_overhead",
+            details: "optimized engine behaves differently with tracing enabled".into(),
+        }));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn generated_scenario_passes_oracle() {
+        let s = generate(1);
+        assert_eq!(check_scenario(&s).unwrap(), None);
+    }
+
+    #[test]
+    fn compare_reports_spots_report_field() {
+        let s = generate(2);
+        let a = s.run_optimized(false).unwrap();
+        let mut b = a.clone();
+        b.report.attempts += 1;
+        let d = compare_reports(&a, &b).unwrap();
+        assert_eq!(d.field, "report");
+        let json = d.to_value().to_json();
+        assert!(json.contains("\"field\":\"report\""));
+    }
+}

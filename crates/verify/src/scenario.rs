@@ -1,0 +1,309 @@
+//! A self-contained, serializable description of one simulation run.
+//!
+//! A [`Scenario`] pins everything the engines need — cluster makeup,
+//! placement, network, scheduler knobs, failure schedules, and the run
+//! seed — so the differential oracle can execute the optimized
+//! [`adapt_sim::MapPhaseSim`] and the naive
+//! [`crate::reference::ReferenceSim`] on *identical*
+//! inputs, and so a failing case can be written out as a JSON artifact
+//! and replayed later.
+
+use adapt_availability::dist::Dist;
+use adapt_dfs::{BlockSize, NodeId};
+use adapt_sim::engine::{DetailedReport, MapPhaseSim, SchedulingMode, SimConfig};
+use adapt_sim::interrupt::InterruptionProcess;
+use adapt_telemetry::Value;
+use adapt_trace::TraceRecorder;
+use adapt_traces::record::Interruption;
+use adapt_traces::replay::InterruptionSchedule;
+
+use crate::reference::ReferenceSim;
+use crate::VerifyError;
+
+/// The interruption behaviour of one simulated node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// A dedicated host: never interrupted.
+    Reliable,
+    /// Synthetic M/G/1 injection: Poisson arrivals with the given MTBI
+    /// and exponentially distributed recoveries with the given mean.
+    Synthetic {
+        /// Mean time between interruption arrivals, seconds.
+        mtbi: f64,
+        /// Mean recovery time, seconds.
+        mean_recovery: f64,
+    },
+    /// A fixed outage schedule: `(start, duration)` pairs, sorted and
+    /// non-overlapping. Covers the fuzzer's adversarial windows (down at
+    /// t = 0, all-nodes-down spans) that a random process rarely hits.
+    Scheduled {
+        /// The outage windows as `(start, duration)` pairs.
+        outages: Vec<(f64, f64)>,
+    },
+}
+
+/// One complete, reproducible simulation input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The run seed all randomness derives from.
+    pub seed: u64,
+    /// One entry per node.
+    pub nodes: Vec<NodeKind>,
+    /// For each task, the node ids holding its block's replicas.
+    pub placement: Vec<Vec<u32>>,
+    /// Per-node link bandwidth, Mb/s.
+    pub bandwidth_mbps: f64,
+    /// HDFS block size in bytes.
+    pub block_bytes: u64,
+    /// Failure-free map-task time per block, seconds.
+    pub gamma: f64,
+    /// Whether speculative duplicates are enabled.
+    pub speculation: bool,
+    /// Maximum concurrent copies of one task (including the original).
+    pub max_copies: usize,
+    /// Maximum concurrent outbound transfers per node.
+    pub max_source_streams: usize,
+    /// Whether the steal scan is availability-aware (`false` = FIFO).
+    pub availability_aware: bool,
+    /// Failure-detection latency, seconds.
+    pub detection_delay: f64,
+    /// Whether in-flight fetches fail when the source dies.
+    pub fetch_failure: bool,
+    /// Simulation horizon, seconds.
+    pub horizon: f64,
+}
+
+impl Scenario {
+    /// Builds the per-node interruption processes.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::InvalidScenario`] if a synthetic node's parameters
+    /// are out of domain.
+    pub fn processes(&self) -> Result<Vec<InterruptionProcess>, VerifyError> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for (i, kind) in self.nodes.iter().enumerate() {
+            out.push(match kind {
+                NodeKind::Reliable => InterruptionProcess::none(),
+                NodeKind::Synthetic {
+                    mtbi,
+                    mean_recovery,
+                } => {
+                    let service = Dist::exponential_from_mean(*mean_recovery).map_err(|e| {
+                        VerifyError::InvalidScenario {
+                            reason: format!("node {i} recovery distribution: {e}"),
+                        }
+                    })?;
+                    if !(mtbi.is_finite() && *mtbi > 0.0) {
+                        return Err(VerifyError::InvalidScenario {
+                            reason: format!("node {i} mtbi {mtbi} must be finite and > 0"),
+                        });
+                    }
+                    InterruptionProcess::synthetic(*mtbi, service)
+                }
+                NodeKind::Scheduled { outages } => {
+                    let mut events = Vec::with_capacity(outages.len());
+                    let mut prev_end = 0.0f64;
+                    for &(start, duration) in outages {
+                        if !(start.is_finite() && start >= 0.0 && duration.is_finite())
+                            || duration < 0.0
+                            || start < prev_end
+                        {
+                            return Err(VerifyError::InvalidScenario {
+                                reason: format!(
+                                    "node {i} outage ({start}, {duration}) invalid or overlapping"
+                                ),
+                            });
+                        }
+                        prev_end = start + duration;
+                        events.push(Interruption { start, duration });
+                    }
+                    InterruptionProcess::trace(InterruptionSchedule::from_events(
+                        events,
+                        self.horizon.max(prev_end),
+                    ))
+                }
+            });
+        }
+        Ok(out)
+    }
+
+    /// Builds the engine configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] if any parameter is out of domain.
+    pub fn sim_config(&self) -> Result<SimConfig, VerifyError> {
+        let scheduling = if self.availability_aware {
+            SchedulingMode::AvailabilityAware
+        } else {
+            SchedulingMode::Fifo
+        };
+        Ok(SimConfig::new(
+            self.bandwidth_mbps,
+            BlockSize::from_bytes(self.block_bytes),
+            self.gamma,
+        )?
+        .with_speculation(self.speculation)
+        .with_max_copies(self.max_copies)?
+        .with_max_source_streams(self.max_source_streams)?
+        .with_detection_delay(self.detection_delay)?
+        .with_fetch_failure(self.fetch_failure)
+        .with_scheduling(scheduling)
+        .with_horizon(self.horizon))
+    }
+
+    fn node_placement(&self) -> Vec<Vec<NodeId>> {
+        self.placement
+            .iter()
+            .map(|replicas| replicas.iter().map(|&r| NodeId(r)).collect())
+            .collect()
+    }
+
+    /// Runs the optimized engine on this scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] on configuration or engine errors.
+    pub fn run_optimized(&self, traced: bool) -> Result<DetailedReport, VerifyError> {
+        let sim = MapPhaseSim::new(self.processes()?, self.node_placement(), self.sim_config()?)?;
+        let sim = if traced {
+            sim.with_trace(TraceRecorder::new())
+        } else {
+            sim
+        };
+        Ok(sim.run_detailed(self.seed)?)
+    }
+
+    /// Runs the naive reference engine on this scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] on configuration or engine errors.
+    pub fn run_reference(&self, traced: bool) -> Result<DetailedReport, VerifyError> {
+        let sim = ReferenceSim::new(self.processes()?, self.node_placement(), self.sim_config()?)?;
+        let sim = if traced {
+            sim.with_trace(TraceRecorder::new())
+        } else {
+            sim
+        };
+        Ok(sim.run_detailed(self.seed)?)
+    }
+
+    /// Serializes the scenario as a JSON object with stable keys, the
+    /// shape written into fuzz-failure artifacts.
+    pub fn to_value(&self) -> Value {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for kind in &self.nodes {
+            let mut v = Value::object();
+            match kind {
+                NodeKind::Reliable => {
+                    v.insert("kind", "reliable");
+                }
+                NodeKind::Synthetic {
+                    mtbi,
+                    mean_recovery,
+                } => {
+                    v.insert("kind", "synthetic");
+                    v.insert("mean_recovery", *mean_recovery);
+                    v.insert("mtbi", *mtbi);
+                }
+                NodeKind::Scheduled { outages } => {
+                    v.insert("kind", "scheduled");
+                    let windows: Vec<Value> = outages
+                        .iter()
+                        .map(|&(start, duration)| {
+                            let mut w = Value::object();
+                            w.insert("duration", duration);
+                            w.insert("start", start);
+                            w
+                        })
+                        .collect();
+                    v.insert("outages", windows);
+                }
+            }
+            nodes.push(v);
+        }
+        let placement: Vec<Value> = self
+            .placement
+            .iter()
+            .map(|replicas| {
+                Value::from(
+                    replicas
+                        .iter()
+                        .map(|&r| Value::from(u64::from(r)))
+                        .collect::<Vec<Value>>(),
+                )
+            })
+            .collect();
+
+        let mut v = Value::object();
+        v.insert("availability_aware", self.availability_aware);
+        v.insert("bandwidth_mbps", self.bandwidth_mbps);
+        v.insert("block_bytes", self.block_bytes);
+        v.insert("detection_delay", self.detection_delay);
+        v.insert("fetch_failure", self.fetch_failure);
+        v.insert("gamma", self.gamma);
+        v.insert("horizon", self.horizon);
+        v.insert("max_copies", self.max_copies);
+        v.insert("max_source_streams", self.max_source_streams);
+        v.insert("nodes", nodes);
+        v.insert("placement", placement);
+        v.insert("seed", self.seed);
+        v.insert("speculation", self.speculation);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            seed: 7,
+            nodes: vec![NodeKind::Reliable, NodeKind::Reliable],
+            placement: vec![vec![0], vec![1], vec![0, 1]],
+            bandwidth_mbps: 8.0,
+            block_bytes: BlockSize::DEFAULT.bytes(),
+            gamma: 12.0,
+            speculation: true,
+            max_copies: 2,
+            max_source_streams: 4,
+            availability_aware: false,
+            detection_delay: 0.0,
+            fetch_failure: false,
+            horizon: 1e6,
+        }
+    }
+
+    #[test]
+    fn reliable_scenario_runs_on_both_engines() {
+        let s = tiny();
+        let a = s.run_optimized(false).unwrap();
+        let b = s.run_reference(false).unwrap();
+        assert!(a.report.completed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scheduled_outages_reject_overlap() {
+        let mut s = tiny();
+        s.nodes[0] = NodeKind::Scheduled {
+            outages: vec![(0.0, 10.0), (5.0, 1.0)],
+        };
+        assert!(matches!(
+            s.processes(),
+            Err(VerifyError::InvalidScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn to_value_has_stable_keys() {
+        let s = tiny();
+        let json = s.to_value().to_json();
+        assert_eq!(json, s.to_value().to_json());
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"placement\""));
+    }
+}

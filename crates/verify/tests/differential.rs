@@ -1,0 +1,94 @@
+//! The differential gate: the naive reference engine and the optimized
+//! engine must produce identical `DetailedReport`s — aggregate metrics,
+//! per-node stats, speculation winners, telemetry snapshot, and full
+//! event trace — on every generated scenario.
+//!
+//! This is the acceptance bar from DESIGN.md §13: at least 100
+//! generated scenarios checked in CI, zero divergence. Any failure here
+//! means an optimization changed observable behaviour; reproduce with
+//! `adapt_verify::generate(seed)` and shrink with
+//! `adapt_verify::shrink`.
+
+use adapt_verify::{check_scenario, generate, shrink, Scenario};
+
+/// How many generated scenarios the gate sweeps. The acceptance
+/// criterion requires at least 100.
+const CORPUS: u64 = 128;
+
+fn explain(seed: u64, scenario: Scenario) -> String {
+    let minimized = shrink(scenario, |c| matches!(check_scenario(c), Ok(Some(_))));
+    let divergence = check_scenario(&minimized)
+        .ok()
+        .flatten()
+        .map(|d| d.to_value().to_json())
+        .unwrap_or_else(|| "divergence vanished while shrinking".to_string());
+    format!(
+        "seed {seed} diverged: {divergence}\nminimized scenario: {}",
+        minimized.to_value().to_json()
+    )
+}
+
+#[test]
+fn engines_agree_on_the_full_corpus() {
+    for seed in 0..CORPUS {
+        let scenario = generate(seed);
+        match check_scenario(&scenario) {
+            Ok(None) => {}
+            Ok(Some(_)) => panic!("{}", explain(seed, generate(seed))),
+            Err(e) => panic!("seed {seed}: oracle error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_handpicked_edge_cases() {
+    use adapt_verify::NodeKind;
+
+    // Every node down at t = 0 for longer than the horizon: nothing can
+    // ever run, both engines must agree on the all-stranded report.
+    let stranded = Scenario {
+        seed: 42,
+        nodes: vec![
+            NodeKind::Scheduled {
+                outages: vec![(0.0, 2_000.0)],
+            };
+            3
+        ],
+        placement: vec![vec![0, 1], vec![1, 2], vec![2, 0]],
+        bandwidth_mbps: 8.0,
+        block_bytes: 64 << 20,
+        gamma: 12.0,
+        speculation: true,
+        max_copies: 2,
+        max_source_streams: 2,
+        availability_aware: true,
+        detection_delay: 5.0,
+        fetch_failure: true,
+        horizon: 1_000.0,
+    };
+    assert_eq!(check_scenario(&stranded).unwrap(), None);
+
+    // Zero-length outage exactly at a task boundary: the down and up
+    // events tie in time and must resolve in the same FIFO order.
+    let tie = Scenario {
+        seed: 7,
+        nodes: vec![
+            NodeKind::Scheduled {
+                outages: vec![(12.0, 0.0), (24.0, 6.0)],
+            },
+            NodeKind::Reliable,
+        ],
+        placement: vec![vec![0], vec![0], vec![1]],
+        bandwidth_mbps: 8.0,
+        block_bytes: 64 << 20,
+        gamma: 12.0,
+        speculation: false,
+        max_copies: 1,
+        max_source_streams: 1,
+        availability_aware: false,
+        detection_delay: 0.0,
+        fetch_failure: false,
+        horizon: 10_000.0,
+    };
+    assert_eq!(check_scenario(&tie).unwrap(), None);
+}

@@ -1,0 +1,97 @@
+//! Differential check of the engine's flat data structures against the
+//! std collections the reference engine uses.
+//!
+//! The oracle in `tests/differential.rs` compares whole simulation
+//! runs; this file attacks the same substitution one layer down. The
+//! reference engine holds its scheduling state in `BTreeSet`s and a
+//! linear-scan queue; the optimized engine holds it in `adapt-ds`'s
+//! `IdSet`, `SortedVecSet`, and `MinHeap4`. Here both pairs execute the
+//! same seeded random operation streams and must agree on every
+//! intermediate observation — so if a whole-run divergence ever
+//! appears, this narrows it to (or rules out) the data-structure swap.
+
+use std::collections::{BTreeSet, BinaryHeap};
+
+use adapt_ds::{IdSet, MinHeap4, SortedVecSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CAPACITY: usize = 96;
+const OPS: usize = 2_000;
+
+fn pick(rng: &mut StdRng, n: u64) -> u64 {
+    rng.next_u64() % n
+}
+
+#[test]
+fn idset_matches_btreeset_under_random_ops() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flat = IdSet::new(CAPACITY);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for _ in 0..OPS {
+            let id = pick(&mut rng, CAPACITY as u64) as usize;
+            match pick(&mut rng, 3) {
+                0 => assert_eq!(flat.insert(id), model.insert(id)),
+                1 => assert_eq!(flat.remove(id), model.remove(&id)),
+                _ => assert_eq!(flat.contains(id), model.contains(&id)),
+            }
+            assert_eq!(flat.len(), model.len());
+            assert_eq!(flat.first(), model.first().copied());
+        }
+        // Ascending iteration is the property the engine's determinism
+        // contract leans on: the orders must be identical.
+        let flat_order: Vec<usize> = flat.iter().collect();
+        let model_order: Vec<usize> = model.iter().copied().collect();
+        assert_eq!(flat_order, model_order, "seed {seed}");
+    }
+}
+
+#[test]
+fn sorted_vec_set_matches_btreeset_under_random_ops() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flat = SortedVecSet::new();
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for _ in 0..OPS {
+            let id = pick(&mut rng, CAPACITY as u64) as usize;
+            match pick(&mut rng, 3) {
+                0 => assert_eq!(flat.insert(id), model.insert(id)),
+                1 => assert_eq!(flat.remove(id), model.remove(&id)),
+                _ => assert_eq!(flat.contains(id), model.contains(&id)),
+            }
+            assert_eq!(flat.first(), model.first().copied());
+        }
+        let model_order: Vec<usize> = model.iter().copied().collect();
+        assert_eq!(flat.as_slice(), model_order.as_slice(), "seed {seed}");
+    }
+}
+
+#[test]
+fn minheap4_matches_binaryheap_pop_order() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flat: MinHeap4<(u64, u64)> = MinHeap4::new();
+        // BinaryHeap is a max-heap; reverse the entries for min order.
+        let mut model: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for _ in 0..OPS {
+            if pick(&mut rng, 3) < 2 || model.is_empty() {
+                // Duplicate keys with distinct sequence numbers exercise
+                // FIFO tie-breaking, the engine-queue property.
+                let key = pick(&mut rng, 32);
+                flat.push((key, seq));
+                model.push(std::cmp::Reverse((key, seq)));
+                seq += 1;
+            } else {
+                assert_eq!(flat.pop(), model.pop().map(|r| r.0));
+            }
+            assert_eq!(flat.len(), model.len());
+            assert_eq!(flat.peek(), model.peek().map(|r| &r.0));
+        }
+        while let Some(item) = flat.pop() {
+            assert_eq!(Some(item), model.pop().map(|r| r.0), "seed {seed}");
+        }
+        assert!(model.is_empty());
+    }
+}

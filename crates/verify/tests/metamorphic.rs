@@ -1,0 +1,101 @@
+//! The metamorphic gate: properties the mathematics guarantees.
+//!
+//! * Monte-Carlo simulation of equation (1)'s generative process must
+//!   bracket equation (5)'s closed-form E[T] in every CI regime,
+//!   including near saturation (ρ ≥ 0.9).
+//! * ADAPT's normalized weights must be invariant under uniform time
+//!   scaling and equivariant under node relabeling.
+//! * The paper-default placement threshold `⌈m(k+1)/n⌉` must hold on
+//!   generated clusters.
+
+use adapt_dfs::cluster::{NodeAvailability, NodeSpec};
+use adapt_verify::metamorphic::{
+    monte_carlo_check, threshold_cap_holds, weights_permutation_equivariant,
+    weights_scale_invariant, MC_REGIMES,
+};
+
+#[test]
+fn monte_carlo_brackets_equation_five_in_every_regime() {
+    let mut saw_near_saturation = false;
+    for (i, &(lambda, mu, gamma)) in MC_REGIMES.iter().enumerate() {
+        let check = monte_carlo_check(lambda, mu, gamma, 50_000, 1000 + i as u64).unwrap();
+        assert!(
+            check.pass,
+            "regime (λ={lambda}, μ={mu}, γ={gamma}, ρ={}): closed-form {} outside {} ± {}",
+            check.rho, check.expected, check.estimate, check.halfwidth
+        );
+        if check.rho >= 0.9 {
+            saw_near_saturation = true;
+        }
+    }
+    assert!(saw_near_saturation, "regimes must include ρ >= 0.9");
+}
+
+#[test]
+fn monte_carlo_rejects_unstable_regimes() {
+    // ρ = λμ >= 1: equation (5) has no finite mean; the model
+    // constructor must refuse rather than simulate a divergent queue.
+    assert!(monte_carlo_check(0.1, 10.0, 12.0, 1_000, 0).is_err());
+    assert!(monte_carlo_check(0.1, 20.0, 12.0, 1_000, 0).is_err());
+}
+
+fn seeded_clusters() -> Vec<Vec<NodeAvailability>> {
+    // A spread of cluster shapes: dedicated-heavy, volatile-heavy, and
+    // near-saturation mixes.
+    vec![
+        vec![
+            NodeAvailability::reliable(),
+            NodeAvailability::from_mtbi(100.0, 20.0).unwrap(),
+        ],
+        vec![
+            NodeAvailability::from_mtbi(10.0, 4.0).unwrap(),
+            NodeAvailability::from_mtbi(50.0, 45.0).unwrap(),
+            NodeAvailability::from_mtbi(200.0, 190.0).unwrap(),
+        ],
+        vec![
+            NodeAvailability::reliable(),
+            NodeAvailability::reliable(),
+            NodeAvailability::from_mtbi(1.0, 0.9).unwrap(),
+            NodeAvailability::from_mtbi(1_000.0, 5.0).unwrap(),
+            NodeAvailability::from_mtbi(30.0, 27.0).unwrap(),
+        ],
+    ]
+}
+
+#[test]
+fn weights_are_scale_invariant() {
+    for specs in seeded_clusters() {
+        for c in [2.0, 10.0, 0.25] {
+            let diff = weights_scale_invariant(12.0, &specs, c).unwrap();
+            assert!(diff < 1e-9, "weights drifted by {diff} under c={c}");
+        }
+    }
+}
+
+#[test]
+fn weights_are_permutation_equivariant() {
+    for specs in seeded_clusters() {
+        let n = specs.len();
+        let rotate: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        let reverse: Vec<usize> = (0..n).rev().collect();
+        for perm in [rotate, reverse] {
+            let diff = weights_permutation_equivariant(12.0, &specs, &perm).unwrap();
+            assert!(diff < 1e-12, "weights drifted by {diff} under {perm:?}");
+        }
+    }
+}
+
+#[test]
+fn threshold_cap_holds_across_shapes() {
+    for (blocks, replication) in [(1usize, 1usize), (17, 2), (64, 3), (100, 1)] {
+        for specs in seeded_clusters() {
+            let n = specs.len();
+            if replication > n {
+                continue;
+            }
+            let specs: Vec<NodeSpec> = specs.into_iter().map(NodeSpec::new).collect();
+            threshold_cap_holds(12.0, specs, blocks, replication, 9)
+                .unwrap_or_else(|e| panic!("m={blocks} k={replication} n={n}: {e}"));
+        }
+    }
+}

@@ -22,6 +22,10 @@
 //!   for every attempt/transfer/outage, JSONL + Chrome `trace_event`
 //!   export, critical-path and exact overhead re-derivation.
 //! * [`experiments`] — per-table/figure harnesses.
+//! * [`verify`] — the verification harness: a differential oracle
+//!   (naive reference engine run lockstep against the optimized one),
+//!   metamorphic model/placement properties, and a seeded scenario
+//!   fuzzer with a shrinking reducer.
 //!
 //! # Quickstart
 //!
@@ -50,3 +54,4 @@ pub use adapt_experiments as experiments;
 pub use adapt_sim as sim;
 pub use adapt_trace as trace;
 pub use adapt_traces as traces;
+pub use adapt_verify as verify;

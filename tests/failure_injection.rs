@@ -213,6 +213,147 @@ fn zero_capacity_cluster_rejects_ingestion() {
 }
 
 #[test]
+fn mtbi_shorter_than_block_compute_time_still_completes() {
+    // MTBI 2 s against a 10 s block: on average every attempt is
+    // interrupted five times before it can finish, so completion relies
+    // entirely on the memoryless restart race. The run must still
+    // terminate (rho = 0.25 is stable) and the rework must dwarf the
+    // useful work.
+    let processes = vec![InterruptionProcess::synthetic(
+        2.0,
+        Dist::exponential_from_mean(0.5).unwrap(),
+    )];
+    let placement: Vec<Vec<NodeId>> = (0..5).map(|_| vec![NodeId(0)]).collect();
+    let cfg = SimConfig::new(8.0, adapt::dfs::BlockSize::DEFAULT, 10.0).unwrap();
+    let report = MapPhaseSim::new(processes, placement, cfg)
+        .unwrap()
+        .run(11)
+        .unwrap();
+    assert!(report.completed);
+    assert!(
+        report.rework > 5.0 * 10.0,
+        "rework {} should exceed the useful work in this regime",
+        report.rework
+    );
+    // The optimized and reference engines must agree byte-for-byte on
+    // this adversarial regime too.
+    let scenario = adapt::verify::Scenario {
+        seed: 11,
+        nodes: vec![adapt::verify::NodeKind::Synthetic {
+            mtbi: 2.0,
+            mean_recovery: 0.5,
+        }],
+        placement: (0..5).map(|_| vec![0]).collect(),
+        bandwidth_mbps: 8.0,
+        block_bytes: adapt::dfs::BlockSize::DEFAULT.bytes(),
+        gamma: 10.0,
+        speculation: true,
+        max_copies: 2,
+        max_source_streams: 4,
+        availability_aware: true,
+        detection_delay: 0.0,
+        fetch_failure: false,
+        horizon: 1e6,
+    };
+    assert_eq!(adapt::verify::check_scenario(&scenario).unwrap(), None);
+}
+
+#[test]
+fn all_nodes_down_window_strands_and_resumes_every_task() {
+    // Every node shares one outage window 5..55: at t = 5 the whole
+    // cluster is down at once, all in-flight work is lost, and nothing
+    // can steal or speculate around it. Each node then restarts its own
+    // 10 s task from scratch at t = 55.
+    let n: u32 = 3;
+    let processes: Vec<InterruptionProcess> = (0..n)
+        .map(|i| {
+            let host = HostTrace::new(
+                HostId(u64::from(i)),
+                1e6,
+                vec![Interruption {
+                    start: 5.0,
+                    duration: 50.0,
+                }],
+            )
+            .unwrap();
+            InterruptionProcess::trace(InterruptionSchedule::from_host_trace(&host))
+        })
+        .collect();
+    let placement: Vec<Vec<NodeId>> = (0..n).map(|i| vec![NodeId(i)]).collect();
+    let cfg = SimConfig::new(8.0, adapt::dfs::BlockSize::DEFAULT, 10.0).unwrap();
+    let report = MapPhaseSim::new(processes, placement, cfg)
+        .unwrap()
+        .run(12)
+        .unwrap();
+    assert!(report.completed);
+    assert!(
+        (report.elapsed - 65.0).abs() < 1e-9,
+        "elapsed {}: 5 s lost work + 50 s blackout + 10 s rerun",
+        report.elapsed
+    );
+    assert!(report.rework > 0.0, "the blackout must cost rework");
+    assert!(
+        report.recovery > 0.0,
+        "the blackout must cost recovery time"
+    );
+    // The same blackout expressed as a verify scenario: both engines
+    // must agree on the stranded-and-resumed schedule.
+    let scenario = adapt::verify::Scenario {
+        seed: 12,
+        nodes: vec![
+            adapt::verify::NodeKind::Scheduled {
+                outages: vec![(5.0, 50.0)],
+            };
+            n as usize
+        ],
+        placement: (0..n).map(|i| vec![i]).collect(),
+        bandwidth_mbps: 8.0,
+        block_bytes: adapt::dfs::BlockSize::DEFAULT.bytes(),
+        gamma: 10.0,
+        speculation: true,
+        max_copies: 2,
+        max_source_streams: 4,
+        availability_aware: false,
+        detection_delay: 0.0,
+        fetch_failure: true,
+        horizon: 1e6,
+    };
+    assert_eq!(adapt::verify::check_scenario(&scenario).unwrap(), None);
+}
+
+#[test]
+fn node_down_at_time_zero_loses_the_dispatch_race() {
+    // Node 0 is down before the job starts and its only block is also
+    // replicated on node 1: the scheduler must dispatch to node 1
+    // immediately instead of waiting out the outage.
+    let host = HostTrace::new(
+        HostId(0),
+        1e6,
+        vec![Interruption {
+            start: 0.0,
+            duration: 300.0,
+        }],
+    )
+    .unwrap();
+    let processes = vec![
+        InterruptionProcess::trace(InterruptionSchedule::from_host_trace(&host)),
+        InterruptionProcess::none(),
+    ];
+    let placement = vec![vec![NodeId(0), NodeId(1)], vec![NodeId(1)]];
+    let cfg = SimConfig::new(8.0, adapt::dfs::BlockSize::DEFAULT, 10.0).unwrap();
+    let report = MapPhaseSim::new(processes, placement, cfg)
+        .unwrap()
+        .run(13)
+        .unwrap();
+    assert!(report.completed);
+    assert!(
+        (report.elapsed - 20.0).abs() < 1e-9,
+        "elapsed {}: node 1 must run both tasks back-to-back",
+        report.elapsed
+    );
+}
+
+#[test]
 fn trace_driven_node_down_at_time_zero_is_handled() {
     let host = HostTrace::new(
         HostId(0),
