@@ -277,6 +277,94 @@ impl NameNode {
         threshold: Threshold,
         rng: &mut dyn Rng,
     ) -> Result<FileId, DfsError> {
+        self.create_file_inner(name, num_blocks, replication, policy, threshold, rng, None)
+    }
+
+    /// Like [`create_file`](NameNode::create_file) but every replica is
+    /// restricted to the `allowed` node subset — the per-job block
+    /// namespace a multi-job tracker carves out of the shared cluster.
+    /// The threshold cap is computed over the subset size (the subset
+    /// *is* the job's cluster), and the policy's availability weighting
+    /// renormalizes over the subset because ineligible nodes are simply
+    /// never accepted.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`create_file`](NameNode::create_file) returns, plus
+    /// [`DfsError::InvalidArgument`] for an empty subset, an
+    /// out-of-range subset member, or `replication` exceeding the subset
+    /// size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_file_on(
+        &mut self,
+        name: &str,
+        num_blocks: usize,
+        replication: usize,
+        policy: &mut dyn PlacementPolicy,
+        threshold: Threshold,
+        rng: &mut dyn Rng,
+        allowed: &[NodeId],
+    ) -> Result<FileId, DfsError> {
+        if allowed.is_empty() {
+            return Err(DfsError::InvalidArgument {
+                name: "allowed",
+                reason: "node subset must not be empty".into(),
+            });
+        }
+        let mut member = vec![false; self.nodes.len()];
+        for id in allowed {
+            let Some(slot) = member.get_mut(id.0 as usize) else {
+                return Err(DfsError::InvalidArgument {
+                    name: "allowed",
+                    reason: format!(
+                        "node {} is outside the {}-node cluster",
+                        id.0,
+                        self.nodes.len()
+                    ),
+                });
+            };
+            if *slot {
+                return Err(DfsError::InvalidArgument {
+                    name: "allowed",
+                    reason: format!("node {} appears twice in the subset", id.0),
+                });
+            }
+            *slot = true;
+        }
+        if replication > allowed.len() {
+            return Err(DfsError::InvalidArgument {
+                name: "replication",
+                reason: format!(
+                    "replication {replication} exceeds subset size {}",
+                    allowed.len()
+                ),
+            });
+        }
+        self.create_file_inner(
+            name,
+            num_blocks,
+            replication,
+            policy,
+            threshold,
+            rng,
+            Some(&member),
+        )
+    }
+
+    /// Shared placement loop behind [`create_file`](NameNode::create_file)
+    /// and [`create_file_on`](NameNode::create_file_on). `allowed` is a
+    /// per-node membership mask (`None` = whole cluster).
+    #[allow(clippy::too_many_arguments)]
+    fn create_file_inner(
+        &mut self,
+        name: &str,
+        num_blocks: usize,
+        replication: usize,
+        policy: &mut dyn PlacementPolicy,
+        threshold: Threshold,
+        rng: &mut dyn Rng,
+        allowed: Option<&[bool]>,
+    ) -> Result<FileId, DfsError> {
         if num_blocks == 0 {
             return Err(DfsError::InvalidArgument {
                 name: "num_blocks",
@@ -301,7 +389,12 @@ impl NameNode {
 
         let view = self.cluster_view();
         policy.prepare(&view, num_blocks)?;
-        let cap = threshold.cap(num_blocks, replication, self.nodes.len());
+        // The threshold cap spreads the file over the nodes it may
+        // actually use: the subset when one is given, else the cluster.
+        let span = allowed.map_or(self.nodes.len(), |m| {
+            m.iter().filter(|&&member| member).count()
+        });
+        let cap = threshold.cap(num_blocks, replication, span);
 
         // Live per-node counts: stored blocks (capacity) and blocks of
         // this file placed so far (threshold).
@@ -316,7 +409,8 @@ impl NameNode {
                     let base_eligible = |id: NodeId| {
                         let i = id.0 as usize;
                         let entry = &self.nodes[i];
-                        entry.alive
+                        allowed.is_none_or(|m| m.get(i).copied().unwrap_or(false))
+                            && entry.alive
                             && !replicas.contains(&id)
                             && entry.spec.capacity_blocks().is_none_or(|c| stored[i] < c)
                     };
@@ -788,6 +882,145 @@ mod tests {
         assert!(nn
             .create_file("f", 1, 5, &mut p, Threshold::None, &mut rng)
             .is_err());
+    }
+
+    #[test]
+    fn create_file_on_confines_replicas_to_the_subset() {
+        let mut nn = reliable_cluster(8);
+        let allowed = [NodeId(1), NodeId(4), NodeId(6)];
+        let mut policy = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let file = nn
+            .create_file_on(
+                "job0",
+                12,
+                2,
+                &mut policy,
+                Threshold::None,
+                &mut rng,
+                &allowed,
+            )
+            .unwrap();
+        for block in nn.file(file).unwrap().blocks().to_vec() {
+            for replica in nn.replicas(block).unwrap() {
+                assert!(allowed.contains(replica), "replica off-subset: {replica:?}");
+            }
+        }
+        nn.validate().unwrap();
+        // The rest of the cluster stayed empty.
+        for id in [0u32, 2, 3, 5, 7] {
+            assert_eq!(nn.node_block_count(NodeId(id)).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn create_file_on_computes_the_threshold_over_the_subset() {
+        let mut nn = reliable_cluster(64);
+        let allowed: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut policy = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        // m=8, k=1 over a 4-node subset: cap = ceil(8*2/4) = 4 per node.
+        let file = nn
+            .create_file_on(
+                "job1",
+                8,
+                1,
+                &mut policy,
+                Threshold::PaperDefault,
+                &mut rng,
+                &allowed,
+            )
+            .unwrap();
+        let dist = nn.file_distribution(file).unwrap();
+        assert!(dist.iter().all(|&c| c <= 4), "{dist:?}");
+        assert_eq!(dist.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn create_file_on_rejects_bad_subsets() {
+        let mut nn = reliable_cluster(4);
+        let mut p = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        // Empty subset.
+        assert!(nn
+            .create_file_on("f", 1, 1, &mut p, Threshold::None, &mut rng, &[])
+            .is_err());
+        // Out-of-range member.
+        assert!(nn
+            .create_file_on("f", 1, 1, &mut p, Threshold::None, &mut rng, &[NodeId(9)])
+            .is_err());
+        // Duplicate member.
+        assert!(nn
+            .create_file_on(
+                "f",
+                1,
+                1,
+                &mut p,
+                Threshold::None,
+                &mut rng,
+                &[NodeId(1), NodeId(1)],
+            )
+            .is_err());
+        // Replication exceeding the subset (but not the cluster).
+        assert!(nn
+            .create_file_on(
+                "f",
+                1,
+                3,
+                &mut p,
+                Threshold::None,
+                &mut rng,
+                &[NodeId(0), NodeId(2)],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn per_job_namespaces_create_and_delete_independently() {
+        let mut nn = reliable_cluster(6);
+        let mut policy = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = nn
+            .create_file_on(
+                "job-a",
+                5,
+                1,
+                &mut policy,
+                Threshold::None,
+                &mut rng,
+                &[NodeId(0), NodeId(1), NodeId(2)],
+            )
+            .unwrap();
+        let b = nn
+            .create_file_on(
+                "job-b",
+                4,
+                1,
+                &mut policy,
+                Threshold::None,
+                &mut rng,
+                &[NodeId(3), NodeId(4), NodeId(5)],
+            )
+            .unwrap();
+        assert_eq!(nn.total_stored(), 9);
+        nn.delete_file(a).unwrap();
+        assert_eq!(nn.total_stored(), 4);
+        assert!(nn.file(a).is_none());
+        assert!(nn.file(b).is_some());
+        // Job A's nodes are free again for a new tenant.
+        let c = nn
+            .create_file_on(
+                "job-c",
+                2,
+                2,
+                &mut policy,
+                Threshold::None,
+                &mut rng,
+                &[NodeId(0), NodeId(1)],
+            )
+            .unwrap();
+        assert_eq!(nn.file(c).unwrap().blocks().len(), 2);
+        nn.validate().unwrap();
     }
 
     #[test]

@@ -24,7 +24,9 @@ use adapt_dfs::NodeId;
 use adapt_sim::engine::{MapPhaseSim, SimConfig};
 use adapt_sim::interrupt::InterruptionProcess;
 use adapt_sim::runner::placement_from_namenode;
+use adapt_sim::{JobTracker, JobTrackerConfig, OptimizedEngine, SchedPolicy, StripedPlacer};
 use adapt_telemetry::Value;
+use adapt_workload::{generate, JobSpec, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,6 +38,17 @@ use crate::ExperimentError;
 /// Schema tag of the bench report (bump on incompatible change).
 pub const BENCH_SCHEMA: &str = "adapt-bench/1";
 
+/// Which simulator surface a scenario times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchKind {
+    /// One map phase through [`MapPhaseSim`] (the single-job engine).
+    MapPhase,
+    /// A full FB-2010-shaped job stream through the [`JobTracker`] —
+    /// meta-scheduler event loop, admission, and one engine run per
+    /// admitted job.
+    JobStream,
+}
+
 /// One row of the fixed scenario matrix.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchScenario {
@@ -43,14 +56,19 @@ pub struct BenchScenario {
     pub name: &'static str,
     /// Cluster size.
     pub nodes: usize,
-    /// Map tasks per node.
+    /// Map tasks per node (ignored by [`BenchKind::JobStream`], whose
+    /// workload is trace-shaped: `nodes / 2` jobs at offered load 1.0).
     pub tasks_per_node: usize,
     /// Replication factor.
     pub replication: usize,
-    /// Placement policy feeding the engine.
+    /// Placement policy feeding the engine (ignored by
+    /// [`BenchKind::JobStream`], which stripes each job's blocks over
+    /// its allocation).
     pub policy: PolicyKind,
     /// Timed iterations (the report keeps the best and the median).
     pub iters: usize,
+    /// The timed surface.
+    pub kind: BenchKind,
 }
 
 /// The fixed matrix: one scenario per evaluation scale the paper uses.
@@ -59,8 +77,11 @@ pub struct BenchScenario {
 /// * `fig3` — the emulated-cluster scale, grown to a measurable run;
 /// * `fig5` — the large-scale trace-driven shape: big cluster, 2-way
 ///   replication, random placement (the steal/migration-heavy series),
-///   which keeps the scheduler — not just the event pump — hot.
-pub const BENCH_MATRIX: [BenchScenario; 3] = [
+///   which keeps the scheduler — not just the event pump — hot;
+/// * `jobstream` — the multi-job surface: the JobTracker admits an
+///   FB-2010-shaped stream under fair-share, so admission, slot
+///   accounting, and many small engine runs are all inside the timer.
+pub const BENCH_MATRIX: [BenchScenario; 4] = [
     BenchScenario {
         name: "table1",
         nodes: 2_000,
@@ -68,6 +89,7 @@ pub const BENCH_MATRIX: [BenchScenario; 3] = [
         replication: 1,
         policy: PolicyKind::Adapt,
         iters: 7,
+        kind: BenchKind::MapPhase,
     },
     BenchScenario {
         name: "fig3",
@@ -76,6 +98,7 @@ pub const BENCH_MATRIX: [BenchScenario; 3] = [
         replication: 1,
         policy: PolicyKind::Adapt,
         iters: 7,
+        kind: BenchKind::MapPhase,
     },
     BenchScenario {
         name: "fig5",
@@ -84,6 +107,16 @@ pub const BENCH_MATRIX: [BenchScenario; 3] = [
         replication: 2,
         policy: PolicyKind::Random,
         iters: 5,
+        kind: BenchKind::MapPhase,
+    },
+    BenchScenario {
+        name: "jobstream",
+        nodes: 512,
+        tasks_per_node: 0,
+        replication: 1,
+        policy: PolicyKind::Random,
+        iters: 5,
+        kind: BenchKind::JobStream,
     },
 ];
 
@@ -92,22 +125,41 @@ pub const BENCH_MATRIX: [BenchScenario; 3] = [
 pub const BENCH_SEED: u64 = 2012;
 
 /// A scenario with its simulation inputs fully built: world generation,
-/// availability estimation, and NameNode placement all happen here, so
-/// the timed region measures the engine alone.
+/// availability estimation, and placement / workload generation all
+/// happen here, so the timed region measures the simulator alone.
 #[derive(Debug)]
 pub struct PreparedScenario {
     scenario: BenchScenario,
     processes: Vec<InterruptionProcess>,
-    placement: Vec<Vec<NodeId>>,
+    work: PreparedWork,
     cfg: SimConfig,
 }
 
-/// Untimed per-iteration engine inputs (`MapPhaseSim::new` consumes its
-/// arguments, so each run gets a fresh clone made *outside* the timer).
+/// The per-kind prepared workload.
+#[derive(Debug)]
+enum PreparedWork {
+    MapPhase {
+        placement: Vec<Vec<NodeId>>,
+    },
+    JobStream {
+        jobs: Vec<JobSpec>,
+        tracker: JobTrackerConfig,
+    },
+}
+
+/// Untimed per-iteration simulator inputs (`MapPhaseSim::new` and
+/// `JobTracker::new` consume their arguments, so each run gets a fresh
+/// clone made *outside* the timer).
 #[derive(Debug)]
 pub struct IterInputs {
     processes: Vec<InterruptionProcess>,
-    placement: Vec<Vec<NodeId>>,
+    work: IterWork,
+}
+
+#[derive(Debug)]
+enum IterWork {
+    MapPhase(Vec<Vec<NodeId>>),
+    JobStream(Vec<JobSpec>),
 }
 
 /// Deterministic outcome of one timed iteration (identical across
@@ -149,37 +201,60 @@ impl PreparedScenario {
                 adapt_traces::replay::InterruptionSchedule::rotated_random(host, &mut rotate_rng)
             })
             .collect();
-        let specs: Vec<NodeSpec> = world
-            .availability()
-            .iter()
-            .map(|&a| NodeSpec::new(a))
-            .collect();
-        let mut namenode = NameNode::new(specs);
-        for (i, schedule) in schedules.iter().enumerate() {
-            if schedule.is_down_at(0.0) {
-                namenode.mark_down(NodeId(i as u32))?;
+        let cfg =
+            SimConfig::new(config.bandwidth_mbps, config.block_size, gamma)?.with_horizon(1e7);
+        let work = match scenario.kind {
+            BenchKind::MapPhase => {
+                let specs: Vec<NodeSpec> = world
+                    .availability()
+                    .iter()
+                    .map(|&a| NodeSpec::new(a))
+                    .collect();
+                let mut namenode = NameNode::new(specs);
+                for (i, schedule) in schedules.iter().enumerate() {
+                    if schedule.is_down_at(0.0) {
+                        namenode.mark_down(NodeId(i as u32))?;
+                    }
+                }
+                let mut policy = scenario.policy.build(gamma);
+                let file = namenode.create_file(
+                    "bench-input",
+                    config.total_blocks(),
+                    scenario.replication,
+                    policy.as_mut(),
+                    Threshold::PaperDefault,
+                    &mut place_rng,
+                )?;
+                PreparedWork::MapPhase {
+                    placement: placement_from_namenode(&namenode, file)?,
+                }
             }
-        }
-        let mut policy = scenario.policy.build(gamma);
-        let file = namenode.create_file(
-            "bench-input",
-            config.total_blocks(),
-            scenario.replication,
-            policy.as_mut(),
-            Threshold::PaperDefault,
-            &mut place_rng,
-        )?;
-        let placement = placement_from_namenode(&namenode, file)?;
+            BenchKind::JobStream => {
+                // Offered load 1.0: each job brings E[tasks]·γ node-seconds
+                // against `nodes` node-seconds of capacity per second.
+                let n_jobs = (scenario.nodes / 2).max(1);
+                let mean_tasks = WorkloadConfig::fb2010_like(1, 1.0).size.mean_tasks();
+                let mean_gap = mean_tasks * gamma / scenario.nodes as f64;
+                let workload = WorkloadConfig::fb2010_like(n_jobs, mean_gap);
+                let jobs = generate(&workload, BENCH_SEED).map_err(|e| {
+                    ExperimentError::InvalidConfig {
+                        name: "workload",
+                        reason: e.to_string(),
+                    }
+                })?;
+                let tracker = JobTrackerConfig::new(cfg, SchedPolicy::FairShare)?
+                    .with_max_nodes_per_job(16)?;
+                PreparedWork::JobStream { jobs, tracker }
+            }
+        };
         let processes: Vec<InterruptionProcess> = schedules
             .into_iter()
             .map(InterruptionProcess::trace)
             .collect();
-        let cfg =
-            SimConfig::new(config.bandwidth_mbps, config.block_size, gamma)?.with_horizon(1e7);
         Ok(PreparedScenario {
             scenario,
             processes,
-            placement,
+            work,
             cfg,
         })
     }
@@ -189,38 +264,67 @@ impl PreparedScenario {
         self.scenario
     }
 
-    /// Total map tasks in the prepared workload.
+    /// Total map tasks in the prepared workload (summed over jobs for a
+    /// job-stream scenario).
     pub fn tasks(&self) -> usize {
-        self.placement.len()
-    }
-
-    /// Clones the per-iteration engine inputs (call outside the timer).
-    pub fn inputs(&self) -> IterInputs {
-        IterInputs {
-            processes: self.processes.clone(),
-            placement: self.placement.clone(),
+        match &self.work {
+            PreparedWork::MapPhase { placement } => placement.len(),
+            PreparedWork::JobStream { jobs, .. } => jobs.iter().map(|j| j.tasks).sum(),
         }
     }
 
-    /// Runs the engine once over pre-cloned inputs — the timed region:
-    /// simulator construction plus the full event loop, nothing else.
+    /// Clones the per-iteration simulator inputs (call outside the timer).
+    pub fn inputs(&self) -> IterInputs {
+        IterInputs {
+            processes: self.processes.clone(),
+            work: match &self.work {
+                PreparedWork::MapPhase { placement } => IterWork::MapPhase(placement.clone()),
+                PreparedWork::JobStream { jobs, .. } => IterWork::JobStream(jobs.clone()),
+            },
+        }
+    }
+
+    /// Runs the simulator once over pre-cloned inputs — the timed region:
+    /// construction plus the full event loop, nothing else.
     ///
     /// # Errors
     ///
     /// Propagates engine failures as [`ExperimentError`].
     pub fn execute(&self, inputs: IterInputs) -> Result<IterStats, ExperimentError> {
-        let sim = MapPhaseSim::new(inputs.processes, inputs.placement, self.cfg)?;
-        let detailed = sim.run_detailed(BENCH_SEED)?;
-        let t = &detailed.telemetry;
-        Ok(IterStats {
-            events_dispatched: t.events_kick
-                + t.events_down
-                + t.events_up
-                + t.events_attempt_done
-                + t.events_requeue,
-            peak_queue_depth: t.queue_depth_hwm,
-            attempts: t.attempts_started,
-        })
+        match (inputs.work, &self.work) {
+            (IterWork::MapPhase(placement), _) => {
+                let sim = MapPhaseSim::new(inputs.processes, placement, self.cfg)?;
+                let detailed = sim.run_detailed(BENCH_SEED)?;
+                let t = &detailed.telemetry;
+                Ok(IterStats {
+                    events_dispatched: t.events_kick
+                        + t.events_down
+                        + t.events_up
+                        + t.events_attempt_done
+                        + t.events_requeue,
+                    peak_queue_depth: t.queue_depth_hwm,
+                    attempts: t.attempts_started,
+                })
+            }
+            (IterWork::JobStream(jobs), PreparedWork::JobStream { tracker, .. }) => {
+                let tracker = JobTracker::new(inputs.processes, *tracker)?;
+                let mut placer = StripedPlacer::new(self.scenario.replication.max(1))?;
+                let outcome =
+                    tracker.run_with(&jobs, BENCH_SEED, &OptimizedEngine, &mut placer, false)?;
+                let t = outcome.telemetry;
+                Ok(IterStats {
+                    events_dispatched: t.engine_events,
+                    peak_queue_depth: t.engine_queue_depth_hwm,
+                    attempts: t.engine_attempts,
+                })
+            }
+            (IterWork::JobStream(_), PreparedWork::MapPhase { .. }) => {
+                Err(ExperimentError::InvalidConfig {
+                    name: "bench",
+                    reason: "iteration inputs do not match the prepared scenario".into(),
+                })
+            }
+        }
     }
 }
 
@@ -484,6 +588,7 @@ mod tests {
             replication: 2,
             policy: PolicyKind::Adapt,
             iters: 2,
+            kind: BenchKind::MapPhase,
         };
         let prepared = PreparedScenario::build(s).unwrap();
         assert_eq!(prepared.tasks(), 320);
@@ -497,5 +602,32 @@ mod tests {
         assert_eq!(r.best_wall_us, 10, "throughput uses min-of-N");
         assert!((r.events_per_sec - a.events_dispatched as f64 / 10e-6).abs() < 1e-6);
         assert!(ScenarioResult::from_samples(&s, 0, a, &[]).is_none());
+    }
+
+    #[test]
+    fn jobstream_scenario_runs_deterministically() {
+        let s = BenchScenario {
+            name: "jobstream-unit",
+            nodes: 32,
+            tasks_per_node: 0,
+            replication: 1,
+            policy: PolicyKind::Random,
+            iters: 2,
+            kind: BenchKind::JobStream,
+        };
+        let prepared = PreparedScenario::build(s).unwrap();
+        assert!(prepared.tasks() > 0, "stream must carry map tasks");
+        let a = prepared.execute(prepared.inputs()).unwrap();
+        let b = prepared.execute(prepared.inputs()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.events_dispatched > 0);
+        assert!(a.attempts as usize >= prepared.tasks());
+    }
+
+    #[test]
+    fn bench_matrix_includes_the_jobstream_surface() {
+        assert!(BENCH_MATRIX
+            .iter()
+            .any(|s| s.name == "jobstream" && s.kind == BenchKind::JobStream));
     }
 }

@@ -1,0 +1,88 @@
+//! The multi-job scheduling sweep — job-slowdown CDFs and sojourn
+//! percentiles versus offered load, per placement policy (DESIGN.md §14).
+//!
+//! Usage: `jobstream [fifo|fair|capacity] [--nodes N] [--runs N]
+//! [--seed N] [--csv] [--report-json PATH] [--paper]`
+//!
+//! The positional selects the JobTracker's scheduling policy (default
+//! `fair`); `--runs` is the number of jobs per stream. The sweep crosses
+//! every load level with every placement policy on one shared host
+//! population, so for a given `(nodes, jobs, seed)` the output — and the
+//! `--report-json` document CI byte-diffs — is deterministic.
+
+use std::io::Write;
+
+use adapt_experiments::cli::Options;
+use adapt_experiments::jobstream::{render_csv, render_table, report_value, JobStreamConfig};
+use adapt_sim::SchedPolicy;
+
+fn main() {
+    let opts = match Options::from_env() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let sched = match opts.positional.first().map(String::as_str) {
+        None | Some("fair") => SchedPolicy::FairShare,
+        Some("fifo") => SchedPolicy::Fifo,
+        Some("capacity") => SchedPolicy::Capacity,
+        Some(other) => {
+            eprintln!("jobstream: unknown scheduling policy `{other}` (fifo|fair|capacity)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut config = JobStreamConfig {
+        sched,
+        ..JobStreamConfig::default()
+    };
+    if opts.paper {
+        config.nodes = 256;
+        config.jobs = 400;
+    }
+    if let Some(nodes) = opts.nodes {
+        config.nodes = nodes;
+    }
+    if let Some(jobs) = opts.runs {
+        config.jobs = jobs;
+    }
+    if let Some(seed) = opts.seed {
+        config.seed = seed;
+    }
+
+    println!("== jobstream: multi-job scheduling sweep ==");
+    println!(
+        "   ({} nodes, {} jobs, sched {}, seed {})\n",
+        config.nodes,
+        config.jobs,
+        config.sched.as_str(),
+        config.seed
+    );
+
+    let points = match adapt_experiments::jobstream::run_jobstream(&config) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("jobstream: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if opts.csv {
+        print!("{}", render_csv(&points));
+    } else {
+        print!("{}", render_table(&points));
+    }
+
+    if let Some(path) = &opts.report_json {
+        let json = report_value(&config, &points).to_json_pretty();
+        match std::fs::File::create(path).and_then(|mut f| writeln!(f, "{json}")) {
+            Ok(()) => eprintln!("jobstream report written to {path}"),
+            Err(e) => {
+                eprintln!("jobstream: cannot write report to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -4,8 +4,9 @@
 //! Usage: `perf [--iters N] [--quick] [--out PATH]
 //! [--compare BASELINE] [--threshold F]`
 //!
-//! Runs the fixed scenario matrix (`table1`/`fig3`/`fig5` scales, see
-//! [`adapt_experiments::bench`]), timing only the engine (construction +
+//! Runs the fixed scenario matrix (`table1`/`fig3`/`fig5` scales plus
+//! the multi-job `jobstream` surface, see [`adapt_experiments::bench`]),
+//! timing only the simulator (construction +
 //! event loop) over pre-built worlds and pre-cloned inputs, and prints
 //! one line per scenario. `--out` writes the `adapt-bench/1` report;
 //! `--compare` additionally parses a baseline report, embeds a

@@ -56,6 +56,12 @@ fn main() {
             failure.seed, failure.divergence.field, failure.divergence.details
         );
     }
+    for failure in &report.jobstream_failures {
+        println!(
+            "   JOBSTREAM DIVERGENCE seed {}: {} — {}",
+            failure.seed, failure.divergence.field, failure.divergence.details
+        );
+    }
     for error in &report.errors {
         println!("   ERROR {error}");
     }
@@ -79,8 +85,9 @@ fn main() {
         );
     } else {
         println!(
-            "\nverify: FAIL ({} divergences, {} errors, {} mc failures)",
+            "\nverify: FAIL ({} divergences, {} jobstream divergences, {} errors, {} mc failures)",
             report.failures.len(),
+            report.jobstream_failures.len(),
             report.errors.len(),
             report.mc_checks.iter().filter(|c| !c.pass).count()
         );

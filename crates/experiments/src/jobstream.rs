@@ -1,0 +1,604 @@
+//! The multi-job scheduling experiment — job-slowdown CDFs and
+//! sojourn-time percentiles versus offered load, ADAPT against the
+//! stock and naive placements (DESIGN.md §14).
+//!
+//! The paper evaluates one job on an otherwise idle cluster. This
+//! harness promotes that setting to a multi-tenant one: an FB-2010-shaped
+//! job stream ([`adapt_workload`]) is admitted by the
+//! [`JobTracker`](adapt_sim::JobTracker), each admitted job's map phase
+//! runs on its granted node subset through the deterministic engine, and
+//! each job's blocks are placed by a real [`NameNode`] *confined to the
+//! job's allocation* ([`NameNode::create_file_on`] — the per-job block
+//! namespace). Sweeping the arrival rate yields the queueing-theory
+//! picture: sojourn p50/p99/p999 and the job-slowdown CDF as the cluster
+//! moves from underloaded to saturated, per placement policy.
+//!
+//! Everything is a pure function of the config: one host population and
+//! one trace rotation are fixed up front and shared across every
+//! (load, policy) cell, so the comparison is paired exactly as in the
+//! paper's single-job experiments. The report is integer-only
+//! (microseconds, per-mille) with sorted keys, and CI byte-diffs it
+//! against `results/ci-baseline-jobstream.json`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use adapt_dfs::cluster::NodeSpec;
+use adapt_dfs::namenode::{NameNode, Threshold};
+use adapt_dfs::{BlockSize, DfsError, FileId, NodeId};
+use adapt_sim::engine::SimConfig;
+use adapt_sim::interrupt::InterruptionProcess;
+use adapt_sim::runner::placement_from_namenode;
+use adapt_sim::{
+    JobPlacer, JobStreamOutcome, JobTracker, JobTrackerConfig, OptimizedEngine, SchedPolicy,
+    SimError,
+};
+use adapt_telemetry::Value;
+use adapt_traces::replay::InterruptionSchedule;
+use adapt_workload::{generate, JobSpec, WorkloadConfig};
+
+use crate::config::LargeScaleConfig;
+use crate::largescale::World;
+use crate::policies::PolicyKind;
+use crate::ExperimentError;
+
+/// Offered-load levels swept, in per-mille of cluster capacity
+/// (`ρ = 0.5, 1.0, 2.0` — underloaded, critically loaded, saturated).
+pub const LOAD_LEVELS_PM: [u64; 3] = [500, 1_000, 2_000];
+
+/// The job-slowdown CDF's evaluation grid (sojourn over contention-free
+/// ideal time).
+pub const SLOWDOWN_GRID: [f64; 8] = [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0];
+
+/// Per-job simulation horizon (seconds) — same guard as the large-scale
+/// harness.
+const JOB_HORIZON: f64 = 1e7;
+
+/// Configuration of one multi-job scheduling experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobStreamConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Jobs per stream.
+    pub jobs: usize,
+    /// Scheduling policy the JobTracker applies.
+    pub sched: SchedPolicy,
+    /// Replication factor for each job's blocks.
+    pub replication: usize,
+    /// Largest node grant any single job receives.
+    pub max_nodes_per_job: usize,
+    /// Per-node network bandwidth in Mb/s.
+    pub bandwidth_mbps: f64,
+    /// HDFS block size.
+    pub block_size: BlockSize,
+    /// Failure-free per-block task time (seconds).
+    pub gamma: f64,
+    /// Base RNG seed (host population, trace rotation, job stream, and
+    /// per-job engine seeds all derive from it).
+    pub seed: u64,
+}
+
+impl Default for JobStreamConfig {
+    fn default() -> Self {
+        JobStreamConfig {
+            nodes: 48,
+            jobs: 60,
+            sched: SchedPolicy::FairShare,
+            replication: 2,
+            max_nodes_per_job: 16,
+            bandwidth_mbps: 8.0,
+            block_size: BlockSize::DEFAULT,
+            gamma: 12.0,
+            seed: 2012,
+        }
+    }
+}
+
+impl JobStreamConfig {
+    fn validate(&self) -> Result<(), ExperimentError> {
+        if self.nodes == 0 {
+            return Err(ExperimentError::InvalidConfig {
+                name: "nodes",
+                reason: "at least one node required".into(),
+            });
+        }
+        if self.jobs == 0 {
+            return Err(ExperimentError::InvalidConfig {
+                name: "jobs",
+                reason: "at least one job required".into(),
+            });
+        }
+        if self.replication == 0 {
+            return Err(ExperimentError::InvalidConfig {
+                name: "replication",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if self.max_nodes_per_job == 0 {
+            return Err(ExperimentError::InvalidConfig {
+                name: "max_nodes_per_job",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if !(self.gamma.is_finite() && self.gamma > 0.0) {
+            return Err(ExperimentError::InvalidConfig {
+                name: "gamma",
+                reason: format!("must be finite and positive, got {}", self.gamma),
+            });
+        }
+        Ok(())
+    }
+
+    /// The large-scale config the host population is generated from
+    /// (Table 4 trace constants at this cluster size).
+    fn world_config(&self) -> LargeScaleConfig {
+        LargeScaleConfig {
+            nodes: self.nodes,
+            runs: 1,
+            seed: self.seed,
+            ..LargeScaleConfig::default()
+        }
+    }
+
+    /// Mean inter-arrival gap that offers load `ρ = load_pm / 1000`:
+    /// each job brings `E[tasks] · γ` node-seconds of work against
+    /// `nodes` node-seconds of capacity per second.
+    fn mean_gap(&self, load_pm: u64) -> f64 {
+        let mean_tasks = WorkloadConfig::fb2010_like(1, 1.0).size.mean_tasks();
+        let rho = load_pm as f64 / 1_000.0;
+        mean_tasks * self.gamma / (self.nodes as f64 * rho)
+    }
+}
+
+fn placement_sim_err(e: DfsError) -> SimError {
+    SimError::InvalidConfig {
+        name: "placement",
+        reason: e.to_string(),
+    }
+}
+
+/// A [`JobPlacer`] backed by a real [`NameNode`]: each admitted job's
+/// blocks become a file placed under the configured policy, confined to
+/// the job's granted nodes ([`NameNode::create_file_on`]); releasing the
+/// job deletes the file — per-job block namespaces under one shared node
+/// state, so the policy's threshold accounting spans concurrent jobs.
+#[derive(Debug)]
+pub struct NameNodePlacer {
+    namenode: NameNode,
+    policy: PolicyKind,
+    gamma: f64,
+    replication: usize,
+    files: Vec<(u32, FileId)>,
+}
+
+impl NameNodePlacer {
+    /// A placer over a fresh NameNode with the given per-node
+    /// availability specs.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::InvalidConfig`] for zero replication or a
+    /// non-positive `gamma`.
+    pub fn new(
+        specs: Vec<NodeSpec>,
+        policy: PolicyKind,
+        gamma: f64,
+        replication: usize,
+    ) -> Result<Self, ExperimentError> {
+        if replication == 0 {
+            return Err(ExperimentError::InvalidConfig {
+                name: "replication",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(ExperimentError::InvalidConfig {
+                name: "gamma",
+                reason: format!("must be finite and positive, got {gamma}"),
+            });
+        }
+        Ok(NameNodePlacer {
+            namenode: NameNode::new(specs),
+            policy,
+            gamma,
+            replication,
+            files: Vec::new(),
+        })
+    }
+}
+
+impl JobPlacer for NameNodePlacer {
+    fn place(
+        &mut self,
+        job: &JobSpec,
+        alloc: &[NodeId],
+        seed: u64,
+    ) -> Result<Vec<Vec<NodeId>>, SimError> {
+        // Same paired-seed discipline as the single-job harnesses: the
+        // placement RNG stream is independent of the engine's.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x70AC_E5EED);
+        let mut policy = self.policy.build(self.gamma);
+        let replication = self.replication.min(alloc.len()).max(1);
+        let file = self
+            .namenode
+            .create_file_on(
+                &format!("job-{}", job.id),
+                job.tasks,
+                replication,
+                policy.as_mut(),
+                Threshold::PaperDefault,
+                &mut rng,
+                alloc,
+            )
+            .map_err(placement_sim_err)?;
+        let global = placement_from_namenode(&self.namenode, file).map_err(placement_sim_err)?;
+        self.files.push((job.id, file));
+        // The engine indexes the job's own process slice, so remap the
+        // NameNode's global node ids to local ranks within the (ascending)
+        // allocation.
+        global
+            .iter()
+            .map(|replicas| {
+                replicas
+                    .iter()
+                    .map(|g| {
+                        alloc
+                            .binary_search(g)
+                            .map(|local| NodeId(local as u32))
+                            .map_err(|_| SimError::InvariantViolation {
+                                what: "NameNode placed a replica outside the job's allocation",
+                            })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn release(&mut self, job: &JobSpec) -> Result<(), SimError> {
+        if let Some(pos) = self.files.iter().position(|&(id, _)| id == job.id) {
+            let (_, file) = self.files.swap_remove(pos);
+            self.namenode.delete_file(file).map_err(placement_sim_err)?;
+        }
+        Ok(())
+    }
+}
+
+/// One (load, policy) cell of the sweep. All durations are integer
+/// microseconds of simulated time; the CDF is per-mille — the report
+/// stays byte-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadPoint {
+    /// Offered load in per-mille of cluster capacity.
+    pub load_pm: u64,
+    /// Placement policy of this cell.
+    pub policy: PolicyKind,
+    /// Jobs whose map phase fully completed.
+    pub jobs_completed: u64,
+    /// Jobs cut by the per-job horizon.
+    pub jobs_cut: u64,
+    /// Stream makespan (last job release).
+    pub makespan_us: u64,
+    /// Mean arrival-to-admission wait over all jobs.
+    pub mean_wait_us: u64,
+    /// Sojourn (arrival-to-release) median.
+    pub sojourn_p50_us: u64,
+    /// Sojourn 99th percentile.
+    pub sojourn_p99_us: u64,
+    /// Sojourn 99.9th percentile.
+    pub sojourn_p999_us: u64,
+    /// Fraction of jobs (per-mille) with slowdown ≤ the matching
+    /// [`SLOWDOWN_GRID`] entry.
+    pub slowdown_cdf_pm: Vec<u64>,
+}
+
+fn to_us(seconds: f64) -> u64 {
+    (seconds * 1e6).round() as u64
+}
+
+/// Index of the `q`-quantile in a sorted sample of `n` (nearest-rank).
+fn quantile_index(q: f64, n: usize) -> usize {
+    (((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)
+}
+
+fn summarize(
+    load_pm: u64,
+    policy: PolicyKind,
+    config: &JobStreamConfig,
+    outcome: &JobStreamOutcome,
+) -> LoadPoint {
+    let n = outcome.records.len();
+    let mut sojourns_us: Vec<u64> = outcome.records.iter().map(|r| to_us(r.sojourn())).collect();
+    sojourns_us.sort_unstable();
+    let wait_sum: f64 = outcome.records.iter().map(|r| r.wait()).sum();
+    let mut slowdowns: Vec<f64> = outcome
+        .records
+        .iter()
+        .map(|r| r.slowdown(config.gamma, config.max_nodes_per_job))
+        .collect();
+    slowdowns.sort_unstable_by(f64::total_cmp);
+    let slowdown_cdf_pm = SLOWDOWN_GRID
+        .iter()
+        .map(|&x| {
+            let at_or_below = slowdowns.iter().take_while(|&&s| s <= x).count();
+            (at_or_below as u64 * 1_000) / n.max(1) as u64
+        })
+        .collect();
+    LoadPoint {
+        load_pm,
+        policy,
+        jobs_completed: outcome.telemetry.jobs_completed,
+        jobs_cut: outcome.telemetry.jobs_cut,
+        makespan_us: to_us(outcome.makespan),
+        mean_wait_us: to_us(wait_sum / n.max(1) as f64),
+        sojourn_p50_us: sojourns_us[quantile_index(0.50, n)],
+        sojourn_p99_us: sojourns_us[quantile_index(0.99, n)],
+        sojourn_p999_us: sojourns_us[quantile_index(0.999, n)],
+        slowdown_cdf_pm,
+    }
+}
+
+/// Runs the full sweep: every load level in [`LOAD_LEVELS_PM`] crossed
+/// with every policy in [`PolicyKind::ALL`], on one shared host
+/// population and trace rotation (paired comparison). Returns the cells
+/// in `(load, policy)` order.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] for invalid configuration or substrate
+/// failures.
+pub fn run_jobstream(config: &JobStreamConfig) -> Result<Vec<LoadPoint>, ExperimentError> {
+    config.validate()?;
+    let world = World::generate(&config.world_config())?;
+
+    // One trace rotation for the whole sweep: every (load, policy) cell
+    // faces the same failure realization.
+    let mut rotate_rng = StdRng::seed_from_u64(config.seed ^ 0x0FF5_E715);
+    let schedules: Vec<InterruptionSchedule> = world
+        .traces()
+        .iter()
+        .map(|host| InterruptionSchedule::rotated_random(host, &mut rotate_rng))
+        .collect();
+    let processes: Vec<InterruptionProcess> = schedules
+        .into_iter()
+        .map(InterruptionProcess::trace)
+        .collect();
+
+    let sim = SimConfig::new(config.bandwidth_mbps, config.block_size, config.gamma)?
+        .with_horizon(JOB_HORIZON);
+    let tracker_cfg = JobTrackerConfig::new(sim, config.sched)?
+        .with_max_nodes_per_job(config.max_nodes_per_job.min(config.nodes))?;
+    let tracker = JobTracker::new(processes, tracker_cfg)?;
+
+    let mut points = Vec::with_capacity(LOAD_LEVELS_PM.len() * PolicyKind::ALL.len());
+    for load_pm in LOAD_LEVELS_PM {
+        let workload = WorkloadConfig::fb2010_like(config.jobs, config.mean_gap(load_pm));
+        // Per-load stream seed; the *same* stream is replayed under every
+        // policy, so within a load the comparison is job-for-job.
+        let jobs = generate(&workload, config.seed ^ (load_pm << 16)).map_err(|e| {
+            ExperimentError::InvalidConfig {
+                name: "workload",
+                reason: e.to_string(),
+            }
+        })?;
+        for policy in PolicyKind::ALL {
+            let specs: Vec<NodeSpec> = world
+                .availability()
+                .iter()
+                .map(|&a| NodeSpec::new(a))
+                .collect();
+            let mut placer = NameNodePlacer::new(specs, policy, config.gamma, config.replication)?;
+            let outcome =
+                tracker.run_with(&jobs, config.seed, &OptimizedEngine, &mut placer, false)?;
+            points.push(summarize(load_pm, policy, config, &outcome));
+        }
+    }
+    Ok(points)
+}
+
+/// Serializes the sweep as the `adapt-jobstream/1` report: the config,
+/// the slowdown grid (per-mille), and one object per cell, all keys
+/// sorted, all values integers (apart from the config's own floats,
+/// which are fixed inputs, not measurements).
+pub fn report_value(config: &JobStreamConfig, points: &[LoadPoint]) -> Value {
+    let mut cfg = Value::object();
+    cfg.insert("bandwidth_mbps", config.bandwidth_mbps);
+    cfg.insert("block_size_mb", config.block_size.as_mb());
+    cfg.insert("gamma_s", config.gamma);
+    cfg.insert("jobs", config.jobs as u64);
+    cfg.insert("max_nodes_per_job", config.max_nodes_per_job as u64);
+    cfg.insert("nodes", config.nodes as u64);
+    cfg.insert("replication", config.replication as u64);
+    cfg.insert("sched", config.sched.as_str());
+    cfg.insert("seed", config.seed);
+
+    let grid: Vec<Value> = SLOWDOWN_GRID
+        .iter()
+        .map(|&x| Value::from((x * 1_000.0).round() as u64))
+        .collect();
+    let cells: Vec<Value> = points
+        .iter()
+        .map(|p| {
+            let cdf: Vec<Value> = p.slowdown_cdf_pm.iter().map(|&v| Value::from(v)).collect();
+            let mut v = Value::object();
+            v.insert("jobs_completed", p.jobs_completed);
+            v.insert("jobs_cut", p.jobs_cut);
+            v.insert("load_pm", p.load_pm);
+            v.insert("makespan_us", p.makespan_us);
+            v.insert("mean_wait_us", p.mean_wait_us);
+            v.insert("policy", p.policy.label());
+            v.insert("slowdown_cdf_pm", cdf);
+            v.insert("sojourn_p50_us", p.sojourn_p50_us);
+            v.insert("sojourn_p999_us", p.sojourn_p999_us);
+            v.insert("sojourn_p99_us", p.sojourn_p99_us);
+            v
+        })
+        .collect();
+
+    let mut v = Value::object();
+    v.insert("config", cfg);
+    v.insert("points", cells);
+    v.insert("schema", "adapt-jobstream/1");
+    v.insert("slowdown_grid_mille", grid);
+    v
+}
+
+/// Renders the sweep as the text table the `jobstream` binary prints.
+pub fn render_table(points: &[LoadPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "load     policy     done  cut  makespan_s    wait_s   p50_s    p99_s   p999_s  sd<=2\n",
+    );
+    for p in points {
+        let sd2 = p.slowdown_cdf_pm.get(2).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "{:<8} {:<10} {:>4} {:>4} {:>11.1} {:>9.1} {:>7.1} {:>8.1} {:>8.1} {:>4.1}%\n",
+            format!("{:.2}", p.load_pm as f64 / 1_000.0),
+            p.policy.label(),
+            p.jobs_completed,
+            p.jobs_cut,
+            p.makespan_us as f64 / 1e6,
+            p.mean_wait_us as f64 / 1e6,
+            p.sojourn_p50_us as f64 / 1e6,
+            p.sojourn_p99_us as f64 / 1e6,
+            p.sojourn_p999_us as f64 / 1e6,
+            sd2 as f64 / 10.0,
+        ));
+    }
+    out
+}
+
+/// Renders the sweep as CSV (the `--csv` flag).
+pub fn render_csv(points: &[LoadPoint]) -> String {
+    let mut out = String::from(
+        "load_pm,policy,jobs_completed,jobs_cut,makespan_us,mean_wait_us,\
+         sojourn_p50_us,sojourn_p99_us,sojourn_p999_us\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            p.load_pm,
+            p.policy.label(),
+            p.jobs_completed,
+            p.jobs_cut,
+            p.makespan_us,
+            p.mean_wait_us,
+            p.sojourn_p50_us,
+            p.sojourn_p99_us,
+            p.sojourn_p999_us,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_dfs::cluster::NodeAvailability;
+
+    fn small() -> JobStreamConfig {
+        JobStreamConfig {
+            nodes: 8,
+            jobs: 10,
+            max_nodes_per_job: 4,
+            gamma: 4.0,
+            ..JobStreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let config = small();
+        let a = run_jobstream(&config).unwrap();
+        let b = run_jobstream(&config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            report_value(&config, &a).to_json(),
+            report_value(&config, &b).to_json()
+        );
+        let shifted = JobStreamConfig {
+            seed: config.seed + 1,
+            ..config
+        };
+        let c = run_jobstream(&shifted).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sweep_covers_every_load_and_policy() {
+        let config = small();
+        let points = run_jobstream(&config).unwrap();
+        assert_eq!(points.len(), LOAD_LEVELS_PM.len() * PolicyKind::ALL.len());
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.load_pm, LOAD_LEVELS_PM[i / PolicyKind::ALL.len()]);
+            assert_eq!(p.policy, PolicyKind::ALL[i % PolicyKind::ALL.len()]);
+            assert_eq!(p.jobs_completed + p.jobs_cut, config.jobs as u64);
+            // The CDF is monotone and bounded.
+            for w in p.slowdown_cdf_pm.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            assert!(p.slowdown_cdf_pm.iter().all(|&v| v <= 1_000));
+            assert!(p.sojourn_p50_us <= p.sojourn_p99_us);
+            assert!(p.sojourn_p99_us <= p.sojourn_p999_us);
+            assert!(p.makespan_us > 0);
+        }
+    }
+
+    #[test]
+    fn namenode_placer_confines_remaps_and_releases() {
+        let specs: Vec<NodeSpec> = (0..10)
+            .map(|_| NodeSpec::new(NodeAvailability::reliable()))
+            .collect();
+        let mut placer = NameNodePlacer::new(specs, PolicyKind::Adapt, 12.0, 2).unwrap();
+        let job = JobSpec {
+            id: 3,
+            arrival: 0.0,
+            tasks: 6,
+            priority: 0,
+        };
+        let alloc = [NodeId(2), NodeId(5), NodeId(7)];
+        let placement = placer.place(&job, &alloc, 42).unwrap();
+        assert_eq!(placement.len(), 6);
+        for replicas in &placement {
+            assert_eq!(replicas.len(), 2);
+            for node in replicas {
+                assert!((node.0 as usize) < alloc.len(), "local index out of range");
+            }
+        }
+        // Released namespaces free the name: the same job id can place
+        // again.
+        placer.release(&job).unwrap();
+        placer.place(&job, &alloc, 42).unwrap();
+    }
+
+    #[test]
+    fn report_serializes_with_stable_keys() {
+        let config = small();
+        let points = run_jobstream(&config).unwrap();
+        let json = report_value(&config, &points).to_json();
+        assert!(json.starts_with("{\"config\":{\"bandwidth_mbps\":"));
+        assert!(json.contains("\"schema\":\"adapt-jobstream/1\""));
+        assert!(
+            json.contains("\"slowdown_grid_mille\":[1000,1500,2000,3000,5000,10000,20000,50000]")
+        );
+        assert!(json.contains("\"policy\":\"ADAPT\""));
+        let table = render_table(&points);
+        assert!(table.contains("existing"));
+        let csv = render_csv(&points);
+        assert_eq!(csv.lines().count(), points.len() + 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(run_jobstream(&JobStreamConfig {
+            nodes: 0,
+            ..small()
+        })
+        .is_err());
+        assert!(run_jobstream(&JobStreamConfig { jobs: 0, ..small() }).is_err());
+        assert!(run_jobstream(&JobStreamConfig {
+            gamma: 0.0,
+            ..small()
+        })
+        .is_err());
+    }
+}

@@ -30,6 +30,7 @@ pub mod bench;
 pub mod cli;
 pub mod config;
 pub mod emulated;
+pub mod jobstream;
 pub mod largescale;
 pub mod parallel;
 pub mod policies;

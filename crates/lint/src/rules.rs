@@ -45,7 +45,7 @@ pub mod id {
 }
 
 /// Crates whose *library* code must be panic-free.
-pub const ROBUSTNESS_CRATES: [&str; 7] = [
+pub const ROBUSTNESS_CRATES: [&str; 8] = [
     "availability",
     "core",
     "dfs",
@@ -53,6 +53,7 @@ pub const ROBUSTNESS_CRATES: [&str; 7] = [
     "sim",
     "trace",
     "verify",
+    "workload",
 ];
 
 /// Files allowed to read wall-clock time: the perf harness *is* a

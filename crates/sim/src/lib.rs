@@ -50,6 +50,7 @@
 pub mod engine;
 pub mod event;
 pub mod interrupt;
+pub mod jobtracker;
 pub mod runner;
 pub mod shuffle;
 pub mod telemetry;
@@ -59,6 +60,10 @@ mod error;
 pub use engine::{DetailedReport, MapPhaseSim, NodeStat, SchedulingMode, SimConfig, SimReport};
 pub use error::SimError;
 pub use interrupt::InterruptionProcess;
+pub use jobtracker::{
+    job_seed, JobPlacer, JobRecord, JobStreamOutcome, JobTracker, JobTrackerConfig,
+    JobTrackerTelemetry, MapEngine, OptimizedEngine, SchedPolicy, StripedPlacer,
+};
 pub use shuffle::{
     estimate_shuffle, estimate_shuffle_instrumented, reliable_reducer_placement, ShuffleConfig,
     ShuffleReport,

@@ -191,6 +191,11 @@ pub fn derive_totals(trace: &Trace) -> DerivedTotals {
                 // would clamp to zero), so raw addition matches both.
                 *slot(&mut recovery, node as usize) += end - start;
             }
+            // Job-stream lifecycle markers live above the map-phase
+            // engine; they carry no overhead seconds to re-derive.
+            TraceEvent::JobSubmitted { .. }
+            | TraceEvent::JobStarted { .. }
+            | TraceEvent::JobCompleted { .. } => {}
         }
     }
 

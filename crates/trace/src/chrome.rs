@@ -223,10 +223,45 @@ pub fn write_chrome(trace: &Trace) -> String {
                     Value::object(),
                 ));
             }
+            TraceEvent::JobSubmitted { job, t } => {
+                let mut args = Value::object();
+                args.insert("job", job);
+                // Job lifecycle happens in the tracker's control lane,
+                // the same synthetic row requeues use.
+                events.push(instant(
+                    "job submitted",
+                    "job",
+                    trace.meta.nodes,
+                    micros(t),
+                    args,
+                ));
+            }
+            TraceEvent::JobCompleted {
+                job,
+                completed,
+                start,
+                t,
+            } => {
+                let mut args = Value::object();
+                args.insert("completed", completed);
+                args.insert("job", job);
+                let ts = micros(start);
+                events.push(span(
+                    "job",
+                    "job",
+                    trace.meta.nodes,
+                    ts,
+                    micros(t).saturating_sub(ts),
+                    args,
+                ));
+            }
             // Started transfers are rendered when they resolve (every
             // TransferStarted is matched by a Done/Aborted record);
-            // AttemptStarted likewise resolves to Won/Killed/Cut.
-            TraceEvent::TransferStarted { .. } | TraceEvent::AttemptStarted { .. } => {}
+            // AttemptStarted likewise resolves to Won/Killed/Cut, and
+            // JobStarted resolves to its JobCompleted span.
+            TraceEvent::TransferStarted { .. }
+            | TraceEvent::AttemptStarted { .. }
+            | TraceEvent::JobStarted { .. } => {}
         }
     }
     // Outages still open at the end of the run.

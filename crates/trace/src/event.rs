@@ -253,6 +253,38 @@ pub enum TraceEvent {
         /// Interval end (seconds).
         end: f64,
     },
+    /// A job entered the multi-job tracker's pending queue (tracker-level
+    /// stream time, not per-job engine time).
+    JobSubmitted {
+        /// Job id within the stream.
+        job: u32,
+        /// Submission time (seconds).
+        t: f64,
+    },
+    /// A pending job was admitted: it received a node allocation and its
+    /// map phase started.
+    JobStarted {
+        /// Job id within the stream.
+        job: u32,
+        /// Nodes allocated to the job.
+        nodes: u32,
+        /// Map tasks the job carries.
+        tasks: u32,
+        /// Admission time (seconds).
+        t: f64,
+    },
+    /// A running job released its allocation; `completed` is false when
+    /// the per-job engine horizon cut the map phase short.
+    JobCompleted {
+        /// Job id within the stream.
+        job: u32,
+        /// Whether every map task finished.
+        completed: bool,
+        /// Admission time (seconds) — the span start.
+        start: f64,
+        /// Release time (seconds).
+        t: f64,
+    },
 }
 
 impl TraceEvent {
@@ -273,6 +305,9 @@ impl TraceEvent {
             TraceEvent::NodeUp { .. } => "node_up",
             TraceEvent::TaskRequeued { .. } => "task_requeued",
             TraceEvent::RecoverySpan { .. } => "recovery_span",
+            TraceEvent::JobSubmitted { .. } => "job_submitted",
+            TraceEvent::JobStarted { .. } => "job_started",
+            TraceEvent::JobCompleted { .. } => "job_completed",
         }
     }
 
@@ -293,6 +328,9 @@ impl TraceEvent {
             TraceEvent::NodeUp { t, .. } => t,
             TraceEvent::TaskRequeued { t, .. } => t,
             TraceEvent::RecoverySpan { end, .. } => end,
+            TraceEvent::JobSubmitted { t, .. } => t,
+            TraceEvent::JobStarted { t, .. } => t,
+            TraceEvent::JobCompleted { t, .. } => t,
         }
     }
 
@@ -307,7 +345,8 @@ impl TraceEvent {
             | TraceEvent::AttemptWon { start, .. }
             | TraceEvent::AttemptKilled { start, .. }
             | TraceEvent::AttemptCut { start, .. }
-            | TraceEvent::RecoverySpan { start, .. } => micros(start),
+            | TraceEvent::RecoverySpan { start, .. }
+            | TraceEvent::JobCompleted { start, .. } => micros(start),
             TraceEvent::NodeUp { since, .. } => micros(since),
             _ => micros(self.time()),
         }
@@ -459,6 +498,32 @@ impl TraceEvent {
                 v.insert("end", end);
                 v.insert("node", node);
                 v.insert("start", start);
+            }
+            TraceEvent::JobSubmitted { job, t } => {
+                v.insert("job", job);
+                v.insert("t", t);
+            }
+            TraceEvent::JobStarted {
+                job,
+                nodes,
+                tasks,
+                t,
+            } => {
+                v.insert("job", job);
+                v.insert("nodes", nodes);
+                v.insert("t", t);
+                v.insert("tasks", tasks);
+            }
+            TraceEvent::JobCompleted {
+                job,
+                completed,
+                start,
+                t,
+            } => {
+                v.insert("completed", completed);
+                v.insert("job", job);
+                v.insert("start", start);
+                v.insert("t", t);
             }
         }
         v

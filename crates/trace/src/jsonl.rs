@@ -288,6 +288,22 @@ fn event_from_value(v: &Value) -> Result<TraceEvent, String> {
             start: get_f64(v, "start")?,
             end: get_f64(v, "end")?,
         },
+        "job_submitted" => TraceEvent::JobSubmitted {
+            job: get_u32(v, "job")?,
+            t: get_f64(v, "t")?,
+        },
+        "job_started" => TraceEvent::JobStarted {
+            job: get_u32(v, "job")?,
+            nodes: get_u32(v, "nodes")?,
+            tasks: get_u32(v, "tasks")?,
+            t: get_f64(v, "t")?,
+        },
+        "job_completed" => TraceEvent::JobCompleted {
+            job: get_u32(v, "job")?,
+            completed: get_bool(v, "completed")?,
+            start: get_f64(v, "start")?,
+            t: get_f64(v, "t")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     })
 }
@@ -559,6 +575,41 @@ mod tests {
         assert_eq!(back, trace);
         // Byte-stability: re-serializing the parsed trace is identical.
         assert_eq!(write_jsonl(&back), text);
+    }
+
+    #[test]
+    fn job_lifecycle_events_round_trip() {
+        let mut rec = TraceRecorder::new();
+        rec.record(TraceEvent::JobSubmitted { job: 0, t: 1.5 });
+        rec.record(TraceEvent::JobStarted {
+            job: 0,
+            nodes: 4,
+            tasks: 9,
+            t: 1.5,
+        });
+        rec.record(TraceEvent::JobCompleted {
+            job: 0,
+            completed: false,
+            start: 1.5,
+            t: 88.25,
+        });
+        let trace = rec.finish(TraceMeta {
+            nodes: 4,
+            tasks: 9,
+            gamma: 12.0,
+            block_bytes: 64 << 20,
+            seed: 2012,
+            elapsed: 88.25,
+            completed: false,
+        });
+        let text = write_jsonl(&trace);
+        assert!(text.contains("\"kind\":\"job_started\""), "{text}");
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(write_jsonl(&back), text);
+        // The completed-job record is a span from admission to release.
+        assert_eq!(trace.events[2].start_us(), 1_500_000);
+        assert_eq!(trace.events[2].end_us(), 88_250_000);
     }
 
     #[test]

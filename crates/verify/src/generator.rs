@@ -18,7 +18,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use adapt_availability::dist::uniform_open01;
+use adapt_workload::JobSpec;
 
+use crate::jobstream::JobStreamScenario;
 use crate::scenario::{NodeKind, Scenario};
 
 /// Interruption-to-recovery load factors ρ = λμ the generator draws
@@ -170,6 +172,108 @@ pub fn generate(seed: u64) -> Scenario {
     }
 }
 
+/// Generates one node's interruption behaviour for a multi-job cluster,
+/// drawing from the same adversarial regimes as [`generate`].
+fn jobstream_node(rng: &mut StdRng, horizon: f64) -> NodeKind {
+    match pick(rng, 3) {
+        0 => NodeKind::Reliable,
+        1 => {
+            let mtbi = choose_f64(rng, &MTBI_REGIMES);
+            let rho = choose_f64(rng, &RHO_REGIMES);
+            NodeKind::Synthetic {
+                mtbi,
+                mean_recovery: rho * mtbi,
+            }
+        }
+        _ => {
+            let down_at_zero = chance(rng, 1, 4);
+            NodeKind::Scheduled {
+                outages: scheduled_windows(rng, horizon, down_at_zero),
+            }
+        }
+    }
+}
+
+/// Deterministically generates the multi-job scenario for `seed`: a
+/// small mixed cluster and a short job stream with clustered arrivals
+/// (several jobs often share an arrival instant — the admission-order
+/// tie-break the trackers must agree on), skewed task counts, and
+/// mixed priorities, checked under all three scheduling policies by
+/// [`crate::jobstream::check_jobstream`].
+pub fn generate_jobstream(seed: u64) -> JobStreamScenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_nodes = 2 + pick(&mut rng, 8) as usize;
+    let n_jobs = 2 + pick(&mut rng, 10) as usize;
+    let gamma = choose_f64(&mut rng, &GAMMA_REGIMES);
+    let bandwidth_mbps = choose_f64(&mut rng, &BANDWIDTH_REGIMES);
+    let block_bytes = BLOCK_REGIMES[pick(&mut rng, BLOCK_REGIMES.len() as u64) as usize];
+    // The smallest horizon keeps queued streams (every job's engine run
+    // bounded) while still letting most jobs finish.
+    let horizon = choose_f64(&mut rng, &HORIZON_REGIMES);
+    let speculation = chance(&mut rng, 3, 4);
+    let max_copies = 1 + pick(&mut rng, 3) as usize;
+    let max_source_streams = 1 + pick(&mut rng, 4) as usize;
+    let availability_aware = chance(&mut rng, 1, 2);
+    let detection_delay = if chance(&mut rng, 1, 4) { 5.0 } else { 0.0 };
+    let fetch_failure = chance(&mut rng, 1, 3);
+    let replication = (1 + pick(&mut rng, 2) as usize).min(n_nodes);
+    // Often cap per-job allocations well below the cluster so several
+    // jobs run concurrently.
+    let max_nodes_per_job = if chance(&mut rng, 1, 2) {
+        1 + pick(&mut rng, n_nodes as u64) as usize
+    } else {
+        n_nodes
+    };
+    let capacity_fraction = choose_f64(&mut rng, &[0.3, 0.5, 0.7]);
+
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        nodes.push(jobstream_node(&mut rng, horizon));
+    }
+
+    let mut jobs = Vec::with_capacity(n_jobs);
+    let mut clock = 0.0f64;
+    for id in 0..n_jobs {
+        // 1-in-3 jobs arrive at the same instant as their predecessor,
+        // exercising the equal-time arrival tie-break.
+        if id > 0 && !chance(&mut rng, 1, 3) {
+            clock += uniform_open01(&mut rng) * gamma * 8.0;
+        }
+        // Skewed task counts: mostly small, occasionally cluster-sized.
+        let tasks = if chance(&mut rng, 1, 4) {
+            1 + pick(&mut rng, 4 * n_nodes as u64) as usize
+        } else {
+            1 + pick(&mut rng, 4) as usize
+        };
+        jobs.push(JobSpec {
+            id: id as u32,
+            arrival: clock,
+            tasks,
+            priority: pick(&mut rng, 3) as u8,
+        });
+    }
+
+    JobStreamScenario {
+        seed,
+        nodes,
+        jobs,
+        replication,
+        max_nodes_per_job,
+        capacity_fraction,
+        prod_priority_min: 1,
+        bandwidth_mbps,
+        block_bytes,
+        gamma,
+        speculation,
+        max_copies,
+        max_source_streams,
+        availability_aware,
+        detection_delay,
+        fetch_failure,
+        horizon,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +283,51 @@ mod tests {
         for seed in 0..64 {
             assert_eq!(generate(seed), generate(seed));
         }
+    }
+
+    #[test]
+    fn jobstream_generation_is_deterministic_and_valid() {
+        for seed in 0..64 {
+            let a = generate_jobstream(seed);
+            assert_eq!(a, generate_jobstream(seed));
+            assert!(a.nodes.len() >= 2);
+            assert!(a.jobs.len() >= 2);
+            a.processes().expect("valid processes");
+            a.sim_config().expect("valid config");
+            let mut prev = 0.0f64;
+            for (i, j) in a.jobs.iter().enumerate() {
+                assert_eq!(j.id as usize, i);
+                assert!(j.arrival >= prev);
+                assert!(j.tasks >= 1);
+                prev = j.arrival;
+            }
+            assert!(a.replication >= 1 && a.replication <= a.nodes.len());
+            assert!(a.max_nodes_per_job >= 1);
+        }
+    }
+
+    #[test]
+    fn jobstream_corpus_covers_contention_and_ties() {
+        let mut saw_tie = false;
+        let mut saw_big_job = false;
+        let mut saw_capped = false;
+        for seed in 0..128 {
+            let s = generate_jobstream(seed);
+            for pair in s.jobs.windows(2) {
+                if pair[0].arrival == pair[1].arrival {
+                    saw_tie = true;
+                }
+            }
+            if s.jobs.iter().any(|j| j.tasks > s.nodes.len()) {
+                saw_big_job = true;
+            }
+            if s.max_nodes_per_job < s.nodes.len() {
+                saw_capped = true;
+            }
+        }
+        assert!(saw_tie, "corpus never generated equal-time arrivals");
+        assert!(saw_big_job, "corpus never generated a cluster-sized job");
+        assert!(saw_capped, "corpus never generated a per-job node cap");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 mod error;
 
 pub mod generator;
+pub mod jobstream;
 pub mod metamorphic;
 pub mod oracle;
 pub mod reference;
@@ -43,9 +44,10 @@ pub mod scenario;
 pub mod shrink;
 
 pub use error::VerifyError;
-pub use generator::generate;
+pub use generator::{generate, generate_jobstream};
+pub use jobstream::{check_jobstream, JobStreamScenario, ReferenceJobTracker};
 pub use oracle::{check_scenario, compare_reports, Divergence};
 pub use reference::ReferenceSim;
-pub use runner::{run_corpus, FailureArtifact, FuzzReport};
+pub use runner::{run_corpus, FailureArtifact, FuzzReport, JobStreamFailure};
 pub use scenario::{NodeKind, Scenario};
 pub use shrink::shrink;

@@ -12,7 +12,8 @@
 use adapt_dfs::cluster::{NodeAvailability, NodeSpec};
 use adapt_telemetry::Value;
 
-use crate::generator::generate;
+use crate::generator::{generate, generate_jobstream};
+use crate::jobstream::{check_jobstream, JobStreamScenario};
 use crate::metamorphic::{
     monte_carlo_check, threshold_cap_holds, weights_permutation_equivariant,
     weights_scale_invariant, McCheck, MC_REGIMES,
@@ -56,6 +57,31 @@ impl FailureArtifact {
     }
 }
 
+/// One multi-job lockstep failure. Job-stream scenarios are not
+/// shrunk (the shrinker operates on single-run scenarios); the full
+/// generated stream is embedded so the case replays from the artifact
+/// alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStreamFailure {
+    /// The generator seed that produced the failing stream.
+    pub seed: u64,
+    /// The first divergence observed (field names carry the policy).
+    pub divergence: Divergence,
+    /// The failing scenario, verbatim.
+    pub scenario: JobStreamScenario,
+}
+
+impl JobStreamFailure {
+    /// Serializes the failure as a JSON object with stable keys.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("divergence", self.divergence.to_value());
+        v.insert("scenario", self.scenario.to_value());
+        v.insert("seed", self.seed);
+        v
+    }
+}
+
 /// The outcome of one full corpus sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuzzReport {
@@ -65,6 +91,8 @@ pub struct FuzzReport {
     pub seeds_run: usize,
     /// Oracle failures, each shrunk to a minimal reproducer.
     pub failures: Vec<FailureArtifact>,
+    /// Multi-job lockstep failures (all three scheduling policies).
+    pub jobstream_failures: Vec<JobStreamFailure>,
     /// Monte-Carlo bracketing results, one per regime in
     /// [`MC_REGIMES`].
     pub mc_checks: Vec<McCheck>,
@@ -84,6 +112,7 @@ impl FuzzReport {
     /// bracketed, invariance drifts inside tolerance, no errors.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+            && self.jobstream_failures.is_empty()
             && self.errors.is_empty()
             && self.mc_checks.iter().all(|c| c.pass)
             && self.max_scale_diff <= SCALE_TOL
@@ -120,10 +149,16 @@ impl FuzzReport {
             .iter()
             .map(|e| Value::from(e.as_str()))
             .collect();
+        let jobstream_failures: Vec<Value> = self
+            .jobstream_failures
+            .iter()
+            .map(JobStreamFailure::to_value)
+            .collect();
         let mut v = Value::object();
         v.insert("base_seed", self.base_seed);
         v.insert("errors", errors);
         v.insert("failures", failures);
+        v.insert("jobstream_failures", jobstream_failures);
         v.insert("max_perm_diff", self.max_perm_diff);
         v.insert("max_scale_diff", self.max_scale_diff);
         v.insert("max_threshold_load", self.max_threshold_load);
@@ -202,6 +237,7 @@ pub fn run_corpus(base_seed: u64, count: usize) -> FuzzReport {
         base_seed,
         seeds_run: count,
         failures: Vec::new(),
+        jobstream_failures: Vec::new(),
         mc_checks: Vec::new(),
         max_scale_diff: 0.0,
         max_perm_diff: 0.0,
@@ -235,6 +271,20 @@ pub fn run_corpus(base_seed: u64, count: usize) -> FuzzReport {
         }
         let scenario = generate(seed);
         check_placement_layer(&mut report, seed, &scenario);
+        // The multi-job lockstep check: both trackers, all three
+        // scheduling policies, full-outcome equality.
+        let stream = generate_jobstream(seed);
+        match check_jobstream(&stream) {
+            Ok(None) => {}
+            Ok(Some(divergence)) => report.jobstream_failures.push(JobStreamFailure {
+                seed,
+                divergence,
+                scenario: stream,
+            }),
+            Err(e) => report
+                .errors
+                .push(format!("seed {seed}: jobstream oracle error: {e}")),
+        }
     }
     for (i, &(lambda, mu, gamma)) in MC_REGIMES.iter().enumerate() {
         match monte_carlo_check(

@@ -73,6 +73,60 @@ pub struct Scenario {
     pub horizon: f64,
 }
 
+/// Builds the per-node interruption processes for a node list — shared
+/// between the single-run [`Scenario`] and the multi-job
+/// [`crate::jobstream::JobStreamScenario`].
+pub(crate) fn build_processes(
+    nodes: &[NodeKind],
+    horizon: f64,
+) -> Result<Vec<InterruptionProcess>, VerifyError> {
+    let mut out = Vec::with_capacity(nodes.len());
+    for (i, kind) in nodes.iter().enumerate() {
+        out.push(match kind {
+            NodeKind::Reliable => InterruptionProcess::none(),
+            NodeKind::Synthetic {
+                mtbi,
+                mean_recovery,
+            } => {
+                let service = Dist::exponential_from_mean(*mean_recovery).map_err(|e| {
+                    VerifyError::InvalidScenario {
+                        reason: format!("node {i} recovery distribution: {e}"),
+                    }
+                })?;
+                if !(mtbi.is_finite() && *mtbi > 0.0) {
+                    return Err(VerifyError::InvalidScenario {
+                        reason: format!("node {i} mtbi {mtbi} must be finite and > 0"),
+                    });
+                }
+                InterruptionProcess::synthetic(*mtbi, service)
+            }
+            NodeKind::Scheduled { outages } => {
+                let mut events = Vec::with_capacity(outages.len());
+                let mut prev_end = 0.0f64;
+                for &(start, duration) in outages {
+                    if !(start.is_finite() && start >= 0.0 && duration.is_finite())
+                        || duration < 0.0
+                        || start < prev_end
+                    {
+                        return Err(VerifyError::InvalidScenario {
+                            reason: format!(
+                                "node {i} outage ({start}, {duration}) invalid or overlapping"
+                            ),
+                        });
+                    }
+                    prev_end = start + duration;
+                    events.push(Interruption { start, duration });
+                }
+                InterruptionProcess::trace(InterruptionSchedule::from_events(
+                    events,
+                    horizon.max(prev_end),
+                ))
+            }
+        });
+    }
+    Ok(out)
+}
+
 impl Scenario {
     /// Builds the per-node interruption processes.
     ///
@@ -81,51 +135,7 @@ impl Scenario {
     /// [`VerifyError::InvalidScenario`] if a synthetic node's parameters
     /// are out of domain.
     pub fn processes(&self) -> Result<Vec<InterruptionProcess>, VerifyError> {
-        let mut out = Vec::with_capacity(self.nodes.len());
-        for (i, kind) in self.nodes.iter().enumerate() {
-            out.push(match kind {
-                NodeKind::Reliable => InterruptionProcess::none(),
-                NodeKind::Synthetic {
-                    mtbi,
-                    mean_recovery,
-                } => {
-                    let service = Dist::exponential_from_mean(*mean_recovery).map_err(|e| {
-                        VerifyError::InvalidScenario {
-                            reason: format!("node {i} recovery distribution: {e}"),
-                        }
-                    })?;
-                    if !(mtbi.is_finite() && *mtbi > 0.0) {
-                        return Err(VerifyError::InvalidScenario {
-                            reason: format!("node {i} mtbi {mtbi} must be finite and > 0"),
-                        });
-                    }
-                    InterruptionProcess::synthetic(*mtbi, service)
-                }
-                NodeKind::Scheduled { outages } => {
-                    let mut events = Vec::with_capacity(outages.len());
-                    let mut prev_end = 0.0f64;
-                    for &(start, duration) in outages {
-                        if !(start.is_finite() && start >= 0.0 && duration.is_finite())
-                            || duration < 0.0
-                            || start < prev_end
-                        {
-                            return Err(VerifyError::InvalidScenario {
-                                reason: format!(
-                                    "node {i} outage ({start}, {duration}) invalid or overlapping"
-                                ),
-                            });
-                        }
-                        prev_end = start + duration;
-                        events.push(Interruption { start, duration });
-                    }
-                    InterruptionProcess::trace(InterruptionSchedule::from_events(
-                        events,
-                        self.horizon.max(prev_end),
-                    ))
-                }
-            });
-        }
-        Ok(out)
+        build_processes(&self.nodes, self.horizon)
     }
 
     /// Builds the engine configuration.

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring a workload or parsing a trace.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A workload configuration value was out of domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A trace file line could not be parsed.
+    Parse {
+        /// 1-based line number in the TSV input.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { name, reason } => {
+                write!(f, "invalid workload config `{name}`: {reason}")
+            }
+            WorkloadError::Parse { line, message } => {
+                write!(f, "trace line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WorkloadError::InvalidConfig {
+            name: "jobs",
+            reason: "must be > 0".into(),
+        };
+        assert!(e.to_string().contains("jobs"));
+        let e = WorkloadError::Parse {
+            line: 3,
+            message: "bad field".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<WorkloadError>();
+    }
+}

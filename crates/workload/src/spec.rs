@@ -1,0 +1,48 @@
+//! The job descriptor handed to the multi-job scheduler.
+
+/// One job in a generated stream: when it arrives, how many map tasks it
+/// carries, and its scheduling priority.
+///
+/// A `JobSpec` is deliberately minimal — everything a scheduling policy
+/// may consult, nothing engine-internal. Map-task count equals block
+/// count (one map task per HDFS block, as in the paper's model), so a
+/// job's input size in blocks *is* its `tasks`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Stable job identifier, unique within one stream, dense from 0 in
+    /// arrival order.
+    pub id: u32,
+    /// Arrival (submit) time in seconds from the stream start.
+    pub arrival: f64,
+    /// Number of map tasks (= input blocks).
+    pub tasks: usize,
+    /// Scheduling priority; higher is more urgent. Policies weight or
+    /// classify jobs by this value (0 is the lowest class).
+    pub priority: u8,
+}
+
+impl JobSpec {
+    /// The weight a proportional-share policy gives this job
+    /// (`priority + 1`, so the lowest class still makes progress).
+    pub fn weight(&self) -> u64 {
+        u64::from(self.priority) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_priority_plus_one() {
+        let j = JobSpec {
+            id: 0,
+            arrival: 0.0,
+            tasks: 4,
+            priority: 0,
+        };
+        assert_eq!(j.weight(), 1);
+        let j = JobSpec { priority: 3, ..j };
+        assert_eq!(j.weight(), 4);
+    }
+}
