@@ -24,7 +24,8 @@ use crate::AvailabilityError;
 /// `ln(u)`-style transforms never see `−∞`.
 pub fn uniform_open01(rng: &mut dyn Rng) -> f64 {
     loop {
-        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u =
+            crate::num::widen_u64(rng.next_u64() >> 11) * (1.0 / crate::num::widen_u64(1u64 << 53));
         if u > 0.0 {
             return u;
         }
@@ -657,7 +658,7 @@ fn gamma_fn(x: f64) -> f64 {
         let mut a = COEF[0];
         let t = x + G + 0.5;
         for (i, &c) in COEF.iter().enumerate().skip(1) {
-            a += c / (x + i as f64);
+            a += c / (x + crate::num::exact_f64(i));
         }
         (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
     }

@@ -87,7 +87,7 @@ impl IntervalEstimator {
     /// uptime interval has been observed.
     pub fn lambda(&self) -> Option<f64> {
         if self.total_uptime > 0.0 && self.interruptions > 0 {
-            Some(self.interruptions as f64 / self.total_uptime)
+            Some(crate::num::widen_u64(self.interruptions) / self.total_uptime)
         } else {
             None
         }
@@ -101,7 +101,7 @@ impl IntervalEstimator {
     /// Estimated mean recovery time, or `None` before any interruption.
     pub fn mu(&self) -> Option<f64> {
         if self.interruptions > 0 {
-            Some(self.total_downtime / self.interruptions as f64)
+            Some(self.total_downtime / crate::num::widen_u64(self.interruptions))
         } else {
             None
         }

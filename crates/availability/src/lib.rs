@@ -54,6 +54,7 @@ pub mod estimator;
 pub mod fit;
 pub mod mg1;
 pub mod moments;
+pub mod num;
 pub mod quantile;
 pub mod task_model;
 

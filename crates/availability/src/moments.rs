@@ -61,7 +61,7 @@ impl Moments {
         }
         self.count += 1;
         let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
+        self.mean += delta / crate::num::widen_u64(self.count);
         let delta2 = x - self.mean;
         self.m2 += delta * delta2;
         self.min = self.min.min(x);
@@ -84,7 +84,7 @@ impl Moments {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / (self.count - 1) as f64
+            self.m2 / crate::num::widen_u64(self.count - 1)
         }
     }
 
@@ -93,7 +93,7 @@ impl Moments {
         if self.count == 0 {
             0.0
         } else {
-            self.m2 / self.count as f64
+            self.m2 / crate::num::widen_u64(self.count)
         }
     }
 
@@ -142,8 +142,8 @@ impl Moments {
             *self = *other;
             return;
         }
-        let n1 = self.count as f64;
-        let n2 = other.count as f64;
+        let n1 = crate::num::widen_u64(self.count);
+        let n2 = crate::num::widen_u64(other.count);
         let delta = other.mean - self.mean;
         let total = n1 + n2;
         self.mean += delta * n2 / total;

@@ -175,7 +175,8 @@ impl P2 {
         if self.initial.len() < 5 {
             let mut sorted = self.initial.clone();
             sorted.sort_by(f64::total_cmp);
-            let idx = ((sorted.len() as f64 - 1.0) * self.q).round() as usize;
+            let idx =
+                crate::num::round_to_index((crate::num::exact_f64(sorted.len()) - 1.0) * self.q);
             return sorted.get(idx).copied();
         }
         Some(self.heights[2])

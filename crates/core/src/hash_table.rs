@@ -183,9 +183,14 @@ impl PlacementHashTable {
     /// [`sample`](PlacementHashTable::sample) or a bounded generator).
     pub fn lookup(&self, r: usize, r1: f64) -> usize {
         let chain = &self.slots[r];
-        debug_assert!(!chain.is_empty(), "every key must be covered");
-        if chain.len() == 1 {
-            return chain[0].node;
+        // The final entry absorbs any floating-point shortfall in the
+        // cumulative weights, so `r1` close to 1 still resolves.
+        let Some((last, rest)) = chain.split_last() else {
+            debug_assert!(false, "every key must be covered (guaranteed by build)");
+            return 0;
+        };
+        if rest.is_empty() {
+            return last.node;
         }
         let weight = |e: &ChainEntry| match self.weighting {
             ChainWeighting::Rate => e.rate,
@@ -193,16 +198,14 @@ impl PlacementHashTable {
         };
         let omega: f64 = chain.iter().map(weight).sum();
         let mut low = 0.0;
-        // The final entry absorbs any floating-point shortfall in the
-        // cumulative weights, so `r1` close to 1 still resolves.
-        for (i, e) in chain.iter().enumerate() {
+        for e in rest {
             let high = low + weight(e) / omega;
-            if r1 < high || i + 1 == chain.len() {
+            if r1 < high {
                 return e.node;
             }
             low = high;
         }
-        unreachable!("lookup requires a non-empty chain (guaranteed by build)")
+        last.node
     }
 
     /// Draws one placement: uniform key, then chain resolution.

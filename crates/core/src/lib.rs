@@ -69,6 +69,7 @@ pub mod spread;
 pub mod telemetry;
 pub mod weighted;
 
+pub use adapt_availability::num;
 pub use hash_table::{ChainWeighting, PlacementHashTable};
 pub use naive::NaivePolicy;
 pub use policy::AdaptPolicy;

@@ -5,7 +5,7 @@
 //! The paper evaluates one job on an otherwise idle cluster. This
 //! harness promotes that setting to a multi-tenant one: an FB-2010-shaped
 //! job stream ([`adapt_workload`]) is admitted by the
-//! [`JobTracker`](adapt_sim::JobTracker), each admitted job's map phase
+//! [`JobTracker`], each admitted job's map phase
 //! runs on its granted node subset through the deterministic engine, and
 //! each job's blocks are placed by a real [`NameNode`] *confined to the
 //! job's allocation* ([`NameNode::create_file_on`] — the per-job block

@@ -1,0 +1,9 @@
+//! Bad: float accumulation over unordered container views.
+
+fn total(m: &Map<u64, f64>) -> f64 {
+    m.values().sum::<f64>()
+}
+
+fn folded(m: &Map<u64, f64>) -> f64 {
+    m.values().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,11 @@
+//! Good: ordered containers and slices have deterministic iteration.
+
+use std::collections::BTreeMap;
+
+fn total(m: &BTreeMap<u64, f64>) -> f64 {
+    m.values().sum::<f64>()
+}
+
+fn slice_total(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}

@@ -1,0 +1,17 @@
+//! Bad: float equality against inexact values and panicking partial_cmp.
+
+fn threshold_hit(x: f64) -> bool {
+    x == 0.3
+}
+
+fn scaled_equal(x: f64, y: f64) -> bool {
+    x != y * 2.0
+}
+
+fn cast_equal(x: f64, n: usize) -> bool {
+    x == n as f64
+}
+
+fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}

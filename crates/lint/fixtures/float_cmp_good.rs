@@ -1,0 +1,30 @@
+//! Good: exact sentinels, tolerance compares, total_cmp, and test code.
+
+fn is_unset(x: f64) -> bool {
+    x == 0.0
+}
+
+fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() < 1e-9
+}
+
+fn bitwise_same(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits()
+}
+
+fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn expectations_may_be_exact() {
+        let x = 0.1 + 0.2;
+        assert!(x == 0.30000000000000004);
+    }
+}

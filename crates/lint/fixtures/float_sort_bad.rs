@@ -1,0 +1,9 @@
+//! Bad: float comparators built on partial_cmp.
+
+fn sort_scores(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn best(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).expect("NaN"))
+}

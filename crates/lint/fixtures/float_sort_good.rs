@@ -1,0 +1,13 @@
+//! Good: total_cmp comparators and integer-key sorts.
+
+fn sort_scores(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn best(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.total_cmp(b))
+}
+
+fn sort_ids(v: &mut Vec<u64>) {
+    v.sort_by(|a, b| a.cmp(b));
+}

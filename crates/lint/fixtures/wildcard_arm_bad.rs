@@ -1,0 +1,16 @@
+//! Bad: catch-all arms in matches over workspace-owned enums.
+
+fn event_weight(e: &TraceEvent) -> u32 {
+    match e {
+        TraceEvent::NodeUp { .. } => 1,
+        TraceEvent::NodeDown { .. } => 2,
+        _ => 0,
+    }
+}
+
+fn error_code(e: SimError) -> u32 {
+    match e {
+        SimError::InvalidConfig { .. } => 1,
+        other => 0,
+    }
+}

@@ -1,0 +1,41 @@
+//! Good: exhaustive owned-enum matches, guarded arms, foreign enums, and
+//! string dispatch.
+
+fn policy_name(p: SchedPolicy) -> &'static str {
+    match p {
+        SchedPolicy::Fifo => "fifo",
+        SchedPolicy::Fair => "fair",
+    }
+}
+
+fn guarded(e: TraceEvent) -> u32 {
+    match e {
+        TraceEvent::NodeUp { .. } => 1,
+        e if e.is_late() => 2,
+        TraceEvent::NodeDown { .. } => 3,
+    }
+}
+
+fn foreign(o: Option<u32>) -> u32 {
+    match o {
+        Some(v) => v,
+        _ => 0,
+    }
+}
+
+fn parse(s: &str) -> Option<KillCause> {
+    match s {
+        "interruption" => Some(KillCause::Interruption),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn shortcut(e: TraceEvent) -> u32 {
+        match e {
+            TraceEvent::NodeUp { .. } => 1,
+            _ => 0,
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The lightweight Rust AST the rules operate on.
+//!
+//! This is *not* a faithful Rust grammar — it models exactly the shapes
+//! the analysis families need: item structure (functions, impls, inline
+//! modules, enums) with `#[cfg(test)]` attribution, expression trees
+//! with method/call/index/binary/cast/closure/match nodes, and match-arm
+//! patterns reduced to their path references plus a catch-all flag.
+//! Everything the parser cannot classify degenerates to [`Expr::Other`]
+//! without failing: a lint driver must be forgiving (rustc rejects truly
+//! malformed files anyway), so unknown constructs are skipped, never
+//! fatal.
+
+/// One parsed source file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceAst {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level or nested item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A free function (or an associated function when nested in
+    /// [`Item::Impl`]).
+    Fn(FnDef),
+    /// An inline module (`mod m { … }`); out-of-line `mod m;` carries no
+    /// items and is recorded for cfg-test attribution only.
+    Mod(ModDef),
+    /// An `impl` block (inherent or trait) or a `trait` definition with
+    /// default method bodies.
+    Impl(ImplDef),
+    /// An `enum` definition.
+    Enum(EnumDef),
+    /// Anything else (struct, use, const, static, type, macro_rules…).
+    Other,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the function is unrestricted `pub` (the public-API
+    /// surface; `pub(crate)`/`pub(super)` do not count).
+    pub is_pub: bool,
+    /// Whether the function (or an enclosing item) is test-gated via
+    /// `#[cfg(test)]` / `#[test]`.
+    pub cfg_test: bool,
+    /// The body, absent for trait method declarations.
+    pub body: Option<Block>,
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModDef {
+    /// The module's name.
+    pub name: String,
+    /// Whether the module is `#[cfg(test)]`-gated.
+    pub cfg_test: bool,
+    /// Items of an inline module body (empty for `mod m;`).
+    pub items: Vec<Item>,
+}
+
+/// An `impl` block or `trait` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplDef {
+    /// The implemented type's name (last path segment before any
+    /// generics), or the trait's name for `trait` definitions.
+    pub type_name: String,
+    /// Whether the block is `#[cfg(test)]`-gated.
+    pub cfg_test: bool,
+    /// Associated functions with bodies.
+    pub fns: Vec<FnDef>,
+}
+
+/// An `enum` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// The enum's name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+    /// Whether the enum is `#[cfg(test)]`-gated.
+    pub cfg_test: bool,
+}
+
+/// A block: statements flattened to their constituent expressions
+/// (`let` initialisers, expression statements, tail expression) plus any
+/// nested items (block-local `fn`s and modules).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// Expressions in evaluation order.
+    pub exprs: Vec<Expr>,
+    /// Items declared inside the block.
+    pub items: Vec<Item>,
+}
+
+/// A binary operator (only the distinctions the rules need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// Any other binary or assignment operator.
+    Other,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A (possibly qualified) path: `x`, `a::b::C`, `Self::f`.
+    Path {
+        /// Path segments (turbofish segments dropped).
+        segs: Vec<String>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A numeric literal.
+    Number {
+        /// Literal text as written (`1.0`, `0xff`, `1e-9`).
+        text: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A string / char literal placeholder (bodies are dropped by the
+    /// lexer by design).
+    Literal {
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A call with a path callee: `foo(a)`, `Type::new(b)`.
+    Call {
+        /// The callee expression (usually [`Expr::Path`]).
+        callee: Box<Expr>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A method call: `recv.name::<T>(args)`.
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Turbofish type arguments, as raw text (`f64` in
+        /// `sum::<f64>()`), empty when absent.
+        turbofish: Vec<String>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A field access (`x.f`, `t.0`).
+    Field {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Field name or tuple index.
+        name: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// An index expression `recv[index]`.
+    Index {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// An `expr as Type` cast.
+    Cast {
+        /// The operand.
+        expr: Box<Expr>,
+        /// The target type's final identifier (`f64`, `usize`).
+        ty: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A closure; parameters are not modelled.
+    Closure {
+        /// The closure body.
+        body: Box<Expr>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A `match` expression.
+    Match {
+        /// The scrutinee.
+        scrutinee: Box<Expr>,
+        /// The arms in source order.
+        arms: Vec<Arm>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A macro invocation `name!(…)`; arguments parsed best-effort.
+    Macro {
+        /// The macro's name (last path segment).
+        name: String,
+        /// Argument expressions that could be parsed.
+        args: Vec<Expr>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A block, including desugared control flow: the sub-expressions of
+    /// `if`/`while`/`for`/`loop` (conditions, bodies, else-branches) are
+    /// flattened into one block node.
+    Block(Block),
+    /// A grouping of sub-expressions with no extra semantics (tuples,
+    /// arrays, references, `?`/`.await` chains collapse onto operands).
+    Group {
+        /// The grouped sub-expressions.
+        exprs: Vec<Expr>,
+    },
+    /// An expression the parser could not classify.
+    Other {
+        /// 1-based source line.
+        line: u32,
+    },
+}
+
+/// One `match` arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arm {
+    /// The arm's pattern.
+    pub pat: Pat,
+    /// Whether the arm carries an `if` guard.
+    pub has_guard: bool,
+    /// The arm body.
+    pub body: Expr,
+    /// 1-based line of the pattern's first token.
+    pub line: u32,
+}
+
+/// A match-arm (or `let`) pattern, reduced to what the exhaustiveness
+/// rule needs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Pat {
+    /// Every path referenced anywhere in the pattern (`TraceEvent ::
+    /// NodeUp` → `["TraceEvent", "NodeUp"]`; a lone capitalised
+    /// identifier like `None` is a single-segment path).
+    pub paths: Vec<Vec<String>>,
+    /// Whether any *top-level* alternative of the pattern is a
+    /// catch-all: `_` or a bare (lowercase) binding identifier.
+    pub top_wildcard: bool,
+}
+
+impl Expr {
+    /// The source line of the expression, `0` for structural nodes.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Number { line, .. }
+            | Expr::Literal { line }
+            | Expr::Call { line, .. }
+            | Expr::Method { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::Macro { line, .. }
+            | Expr::Other { line } => *line,
+            Expr::Block(_) | Expr::Group { .. } => 0,
+        }
+    }
+
+    /// Visits this expression and every sub-expression (pre-order),
+    /// including match-arm bodies, closure bodies, and macro arguments.
+    pub fn walk(&self, visit: &mut dyn FnMut(&Expr)) {
+        visit(self);
+        match self {
+            Expr::Path { .. } | Expr::Number { .. } | Expr::Literal { .. } | Expr::Other { .. } => {
+            }
+            Expr::Call { callee, args, .. } => {
+                callee.walk(visit);
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            Expr::Method { recv, args, .. } => {
+                recv.walk(visit);
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            Expr::Field { recv, .. } => recv.walk(visit),
+            Expr::Index { recv, index, .. } => {
+                recv.walk(visit);
+                index.walk(visit);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(visit);
+                rhs.walk(visit);
+            }
+            Expr::Cast { expr, .. } => expr.walk(visit),
+            Expr::Closure { body, .. } => body.walk(visit),
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                scrutinee.walk(visit);
+                for arm in arms {
+                    arm.body.walk(visit);
+                }
+            }
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            Expr::Block(b) => {
+                for e in &b.exprs {
+                    e.walk(visit);
+                }
+            }
+            Expr::Group { exprs } => {
+                for e in exprs {
+                    e.walk(visit);
+                }
+            }
+        }
+    }
+}
+
+/// Visits every function definition in `items` (free, associated, and
+/// block-local), passing the enclosing impl/trait type name (if any) and
+/// whether any enclosing item is test-gated.
+pub fn visit_fns(items: &[Item], visit: &mut dyn FnMut(&FnDef, Option<&str>, bool)) {
+    visit_fns_inner(items, None, false, visit)
+}
+
+fn visit_fns_inner(
+    items: &[Item],
+    impl_ty: Option<&str>,
+    in_test: bool,
+    visit: &mut dyn FnMut(&FnDef, Option<&str>, bool),
+) {
+    for item in items {
+        match item {
+            Item::Fn(f) => {
+                let test = in_test || f.cfg_test;
+                visit(f, impl_ty, test);
+                if let Some(body) = &f.body {
+                    visit_fns_inner(&body.items, None, test, visit);
+                    // Block-local items inside nested control flow are
+                    // already flattened into `body.items` by the parser.
+                }
+            }
+            Item::Mod(m) => visit_fns_inner(&m.items, None, in_test || m.cfg_test, visit),
+            Item::Impl(i) => {
+                for f in &i.fns {
+                    let test = in_test || i.cfg_test || f.cfg_test;
+                    visit(f, Some(&i.type_name), test);
+                    if let Some(body) = &f.body {
+                        visit_fns_inner(&body.items, None, test, visit);
+                    }
+                }
+            }
+            Item::Enum(_) | Item::Other => {}
+        }
+    }
+}
+
+/// Visits every enum definition in `items`.
+pub fn visit_enums(items: &[Item], visit: &mut dyn FnMut(&EnumDef, bool)) {
+    for item in items {
+        match item {
+            Item::Enum(e) => visit(e, e.cfg_test),
+            Item::Mod(m) => {
+                let gated = m.cfg_test;
+                visit_enums(&m.items, &mut |e, t| visit(e, t || gated));
+            }
+            Item::Fn(_) | Item::Impl(_) | Item::Other => {}
+        }
+    }
+}

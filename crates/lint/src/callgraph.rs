@@ -1,0 +1,490 @@
+//! Workspace call graph and cross-crate panic reachability.
+//!
+//! Built from the parsed fn bodies of every scanned file. Calls are
+//! resolved *by name* (with the qualifying type segment used to narrow
+//! associated functions), which over-approximates: a call may resolve to
+//! several same-named workspace functions, and edges are kept only when
+//! the callee's crate is in the caller crate's transitive `Cargo.toml`
+//! dependency closure. Vendored dependencies are not scanned (their
+//! panics are invisible — a documented soundness limit, DESIGN §15).
+//!
+//! Two outputs feed the rules:
+//!
+//! * **reachable panics** — a shortest call path from a robustness-crate
+//!   public fn to an *explicit* panicking construct (`unwrap`/`expect`/
+//!   `panic!`/`unreachable!`/`todo!`/`unimplemented!`) in a crate outside
+//!   the per-site scan, reported as `robustness/panic-path` findings;
+//! * **panic surface** — advisory per-crate counts of explicit panics,
+//!   slice-indexing sites, and divisions by non-literal expressions, for
+//!   the JSON artifact (indexing is pervasive and bounds-checked by
+//!   construction in most call sites, so it is counted, not denied).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::ast::{visit_fns, Expr, SourceAst};
+
+/// One file's parse, tagged with its workspace location.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// The crate's directory name under `crates/`.
+    pub crate_name: String,
+    /// The parsed AST.
+    pub ast: SourceAst,
+}
+
+/// An explicitly panicking construct inside a fn body.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PanicSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// What panics (`.unwrap()`, `panic!`, …).
+    pub what: String,
+}
+
+/// One function node of the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// The crate's directory name.
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Enclosing impl/trait type, if any.
+    pub type_name: Option<String>,
+    /// The function's name.
+    pub fn_name: String,
+    /// Whether the fn is unrestricted `pub`.
+    pub is_pub: bool,
+    /// Named calls made by the body: `(qualifier, callee name, line)`.
+    pub calls: Vec<(Option<String>, String, u32)>,
+    /// Explicit panicking constructs in the body.
+    pub panics: Vec<PanicSite>,
+    /// Advisory: `recv[i]` indexing sites in the body.
+    pub index_sites: u32,
+    /// Advisory: `/` or `%` by a non-literal expression.
+    pub div_by_expr_sites: u32,
+}
+
+impl FnNode {
+    /// `crate::Type::name` display form used in finding messages.
+    pub fn display(&self) -> String {
+        match &self.type_name {
+            Some(t) => format!("{}::{}::{}", self.crate_name, t, self.fn_name),
+            None => format!("{}::{}", self.crate_name, self.fn_name),
+        }
+    }
+}
+
+/// The workspace call graph (non-test functions only).
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All nodes, in deterministic (path, line) order.
+    pub fns: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Macro names that always panic when reached.
+pub const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+impl CallGraph {
+    /// Builds the graph from parsed files, skipping `#[cfg(test)]` code.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut fns = Vec::new();
+        for file in files {
+            collect_fns(file, &mut fns);
+        }
+        fns.sort_by(|a, b| (&a.path, a.line, &a.fn_name).cmp(&(&b.path, b.line, &b.fn_name)));
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.fn_name.clone()).or_default().push(i);
+        }
+        CallGraph { fns, by_name }
+    }
+
+    /// Resolves one call to candidate node indices: same-named workspace
+    /// fns whose crate is in `allowed`; a qualifier narrows to matching
+    /// impl types (falling back to all same-named fns when nothing
+    /// matches, to stay an over-approximation).
+    fn resolve(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+        allowed: &BTreeSet<String>,
+    ) -> Vec<usize> {
+        let Some(candidates) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let in_scope: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.fns
+                    .get(i)
+                    .is_some_and(|f| allowed.contains(&f.crate_name))
+            })
+            .collect();
+        if let Some(q) = qualifier {
+            let narrowed: Vec<usize> = in_scope
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    self.fns
+                        .get(i)
+                        .and_then(|f| f.type_name.as_deref())
+                        .is_some_and(|t| t == q)
+                })
+                .collect();
+            if !narrowed.is_empty() {
+                return narrowed;
+            }
+        }
+        in_scope
+    }
+
+    /// Shortest call paths from public fns of `from_crates` to explicit
+    /// panic sites in crates *outside* `from_crates` (panics inside them
+    /// are already denied per-site). `deps` maps each crate to its
+    /// transitive dependency closure (including itself). Returns
+    /// `(panic fn index, path of fn indices from a public root)` per
+    /// reachable panicking fn, deterministically ordered.
+    pub fn reachable_panics(
+        &self,
+        from_crates: &[&str],
+        deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> Vec<(usize, Vec<usize>)> {
+        let empty = BTreeSet::new();
+        // Multi-source BFS over call edges, tracking predecessors.
+        let mut prev: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut seen: Vec<bool> = vec![false; self.fns.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.is_pub && from_crates.contains(&f.crate_name.as_str()) {
+                seen[i] = true;
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            let Some(node) = self.fns.get(i) else {
+                continue;
+            };
+            let allowed = deps.get(&node.crate_name).unwrap_or(&empty);
+            for (qual, name, _) in &node.calls {
+                for j in self.resolve(qual.as_deref(), name, allowed) {
+                    if !seen.get(j).copied().unwrap_or(true) {
+                        seen[j] = true;
+                        prev[j] = Some(i);
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            if !seen.get(i).copied().unwrap_or(false)
+                || f.panics.is_empty()
+                || from_crates.contains(&f.crate_name.as_str())
+            {
+                continue;
+            }
+            // Reconstruct the shortest path back to a public root.
+            let mut chain = vec![i];
+            let mut cur = i;
+            while let Some(p) = prev.get(cur).copied().flatten() {
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            out.push((i, chain));
+        }
+        out
+    }
+
+    /// Advisory per-crate panic-surface counts for the JSON artifact:
+    /// `(explicit panics, indexing sites, div-by-expr sites)`.
+    pub fn panic_surface(&self) -> BTreeMap<String, (u64, u64, u64)> {
+        let mut out: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        for f in &self.fns {
+            let slot = out.entry(f.crate_name.clone()).or_insert((0, 0, 0));
+            slot.0 += f.panics.len() as u64;
+            slot.1 += u64::from(f.index_sites);
+            slot.2 += u64::from(f.div_by_expr_sites);
+        }
+        out
+    }
+}
+
+/// Extracts all non-test fn nodes from one parsed file.
+fn collect_fns(file: &ParsedFile, out: &mut Vec<FnNode>) {
+    visit_fns(&file.ast.items, &mut |f, impl_ty, in_test| {
+        if in_test {
+            return;
+        }
+        let mut node = FnNode {
+            crate_name: file.crate_name.clone(),
+            path: file.path.clone(),
+            line: f.line,
+            type_name: impl_ty.map(str::to_string),
+            fn_name: f.name.clone(),
+            is_pub: f.is_pub,
+            calls: Vec::new(),
+            panics: Vec::new(),
+            index_sites: 0,
+            div_by_expr_sites: 0,
+        };
+        if let Some(body) = &f.body {
+            for e in &body.exprs {
+                e.walk(&mut |x| scan_expr(x, &mut node));
+            }
+        }
+        out.push(node);
+    });
+}
+
+/// Records calls and panic sources from one expression node.
+fn scan_expr(x: &Expr, node: &mut FnNode) {
+    match x {
+        Expr::Method { name, line, .. } => {
+            if name == "unwrap" || name == "expect" {
+                node.panics.push(PanicSite {
+                    line: *line,
+                    what: format!(".{name}()"),
+                });
+            } else {
+                node.calls.push((None, name.clone(), *line));
+            }
+        }
+        Expr::Call { callee, line, .. } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                if let Some(name) = segs.last() {
+                    let qualifier = if segs.len() >= 2 {
+                        segs.get(segs.len() - 2).cloned()
+                    } else {
+                        None
+                    };
+                    node.calls.push((qualifier, name.clone(), *line));
+                }
+            }
+        }
+        Expr::Macro { name, line, .. } if PANIC_MACROS.contains(&name.as_str()) => {
+            node.panics.push(PanicSite {
+                line: *line,
+                what: format!("{name}!"),
+            });
+        }
+        Expr::Index { line: _, .. } => {
+            node.index_sites += 1;
+        }
+        Expr::Binary {
+            op: crate::ast::BinOp::Div | crate::ast::BinOp::Rem,
+            rhs,
+            ..
+        } if !matches!(rhs.as_ref(), Expr::Number { .. }) => {
+            node.div_by_expr_sites += 1;
+        }
+        _ => {}
+    }
+}
+
+/// Parses `crates/*/Cargo.toml` manifests into each crate's transitive
+/// `adapt-*` dependency closure (including the crate itself). Only
+/// `[dependencies]` count — dev-dependencies do not make library code
+/// reachable from another crate's library code.
+pub fn dep_closure(manifests: &BTreeMap<String, String>) -> BTreeMap<String, BTreeSet<String>> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (crate_name, text) in manifests {
+        let mut deps = BTreeSet::new();
+        let mut in_deps = false;
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.starts_with('[') {
+                in_deps = line == "[dependencies]";
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            if let Some((key, _)) = line.split_once('=') {
+                let key = key.trim().trim_matches('"');
+                if let Some(dep) = key.strip_prefix("adapt-") {
+                    deps.insert(dep.to_string());
+                }
+            }
+        }
+        direct.insert(crate_name.clone(), deps);
+    }
+    // Transitive closure by fixpoint iteration (the graph is tiny).
+    let mut closure: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (name, deps) in &direct {
+        let mut all: BTreeSet<String> = deps.clone();
+        all.insert(name.clone());
+        let mut frontier: Vec<String> = deps.iter().cloned().collect();
+        while let Some(d) = frontier.pop() {
+            if let Some(next) = direct.get(&d) {
+                for n in next {
+                    if all.insert(n.clone()) {
+                        frontier.push(n.clone());
+                    }
+                }
+            }
+        }
+        closure.insert(name.clone(), all);
+    }
+    closure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse;
+
+    fn file(crate_name: &str, path: &str, src: &str) -> ParsedFile {
+        ParsedFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            ast: parse(&tokenize(src)),
+        }
+    }
+
+    fn closure_of(pairs: &[(&str, &[&str])]) -> BTreeMap<String, BTreeSet<String>> {
+        let manifests: BTreeMap<String, String> = pairs
+            .iter()
+            .map(|(name, deps)| {
+                let body = deps
+                    .iter()
+                    .map(|d| format!("adapt-{d} = {{ path = \"../{d}\" }}"))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                (
+                    name.to_string(),
+                    format!("[package]\nname = \"adapt-{name}\"\n[dependencies]\n{body}\n"),
+                )
+            })
+            .collect();
+        dep_closure(&manifests)
+    }
+
+    /// A hand-built three-crate chain: `sim` (robustness, public API)
+    /// calls a private helper, which calls into `telemetry`, whose
+    /// method panics. The panic must be reported with the full path; an
+    /// unreachable panic in an upper-layer crate must not.
+    #[test]
+    fn reachability_crosses_crates_with_shortest_path() {
+        let files = vec![
+            file(
+                "sim",
+                "crates/sim/src/engine.rs",
+                r#"
+                impl Engine {
+                    pub fn step(&mut self) { helper(self); }
+                }
+                fn helper(e: &mut Engine) { e.out.insert("k", 1); }
+                "#,
+            ),
+            file(
+                "telemetry",
+                "crates/telemetry/src/json.rs",
+                r#"
+                impl Value {
+                    pub fn insert(&mut self, k: &str, v: u64) -> &mut Self {
+                        match self { Value::Object(m) => m.set(k, v), other => panic!("bad") }
+                    }
+                }
+                "#,
+            ),
+            file(
+                "experiments",
+                "crates/experiments/src/main.rs",
+                "pub fn run() { x.unwrap(); }",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        let deps = closure_of(&[
+            ("sim", &["telemetry"]),
+            ("telemetry", &[]),
+            ("experiments", &["sim", "telemetry"]),
+        ]);
+        let reached = graph.reachable_panics(&["sim"], &deps);
+        assert_eq!(reached.len(), 1, "exactly the telemetry panic: {reached:?}");
+        let (target, chain) = &reached[0];
+        let names: Vec<String> = chain
+            .iter()
+            .filter_map(|&i| graph.fns.get(i).map(FnNode::display))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "sim::Engine::step",
+                "sim::helper",
+                "telemetry::Value::insert"
+            ]
+        );
+        assert_eq!(
+            graph.fns[*target].panics,
+            vec![PanicSite {
+                line: 4,
+                what: "panic!".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn edges_respect_the_dependency_closure() {
+        // `dfs` calls a fn named like one in `experiments`, but
+        // `experiments` is not a dependency of `dfs`: no edge, no path.
+        let files = vec![
+            file("dfs", "crates/dfs/src/lib.rs", "pub fn place() { run(); }"),
+            file(
+                "experiments",
+                "crates/experiments/src/main.rs",
+                "pub fn run() { x.unwrap(); }",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        let deps = closure_of(&[("dfs", &[]), ("experiments", &["dfs"])]);
+        assert!(graph.reachable_panics(&["dfs"], &deps).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_outside_the_graph() {
+        let files = vec![file(
+            "sim",
+            "crates/sim/src/lib.rs",
+            "#[cfg(test)]\nmod tests { pub fn t() { helper(); } }\npub fn ok() {}",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(graph.fns.len(), 1);
+        assert_eq!(graph.fns[0].fn_name, "ok");
+    }
+
+    #[test]
+    fn panic_surface_counts_are_per_crate() {
+        let files = vec![file(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f(v: &[u64], i: usize, d: u64) -> u64 { v[i] / d }",
+        )];
+        let graph = CallGraph::build(&files);
+        let surface = graph.panic_surface();
+        assert_eq!(surface.get("core"), Some(&(0, 1, 1)));
+    }
+
+    #[test]
+    fn dep_closure_is_transitive_and_reflexive() {
+        let deps = closure_of(&[
+            ("core", &["availability", "telemetry"]),
+            ("availability", &["telemetry"]),
+            ("telemetry", &[]),
+            ("sim", &["core"]),
+        ]);
+        let sim = deps.get("sim").cloned().unwrap_or_default();
+        for expected in ["sim", "core", "availability", "telemetry"] {
+            assert!(sim.contains(expected), "missing {expected}");
+        }
+        let telemetry = deps.get("telemetry").cloned().unwrap_or_default();
+        assert_eq!(telemetry.len(), 1);
+    }
+}

@@ -15,9 +15,18 @@
 //! Every entry must carry all three keys. Entries that match no finding
 //! are reported as `allowlist/stale` violations, so the allowlist can
 //! only shrink over time unless a new exemption is deliberately added.
+//!
+//! The `determinism/`, `robustness/`, and `exhaustiveness/` families
+//! cannot be allowlisted at all — entries naming them are a parse error.
+//! Those rules protect the byte-stable report contract and the typed
+//! error surface; an exemption would silently void both, so the only
+//! way past a finding in those families is fixing the code.
 
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Rule-id prefixes that may never appear in `lint.toml`.
+const UNALLOWLISTABLE_FAMILIES: [&str; 3] = ["determinism/", "exhaustiveness/", "robustness/"];
 
 /// One `[[allow]]` entry.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -102,6 +111,22 @@ fn finish(
                 line: partial.line,
                 message: format!("[[allow]] entry missing key(s): {}", missing.join(", ")),
             });
+        }
+        if let Some(rule) = &partial.rule {
+            if let Some(family) = UNALLOWLISTABLE_FAMILIES
+                .iter()
+                .find(|f| rule.starts_with(*f))
+            {
+                return Err(ConfigError {
+                    line: partial.line,
+                    message: format!(
+                        "rule `{rule}` cannot be allowlisted: the `{}` family \
+                         protects invariants that exemptions would silently void — \
+                         fix the flagged code instead",
+                        family.trim_end_matches('/')
+                    ),
+                });
+            }
         }
         entries.push(AllowEntry {
             rule: partial.rule.unwrap_or_default(),
@@ -197,8 +222,8 @@ path = "crates/core/src/hash_table.rs"
 reason = "audited"
 
 [[allow]]
-rule = "robustness/no-panic"
-path = "crates/sim/src/engine.rs"
+rule = "numeric/unstable-denominator"
+path = "crates/availability/src/moments.rs"
 reason = "also audited"
 "#;
         let list = parse(src).unwrap();
@@ -233,5 +258,26 @@ reason = "also audited"
     #[test]
     fn empty_config_is_valid() {
         assert!(parse("# nothing here\n").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn protected_families_cannot_be_allowlisted() {
+        for rule in [
+            "determinism/wall-clock",
+            "determinism/float-cmp",
+            "robustness/panic-path",
+            "exhaustiveness/wildcard-arm",
+        ] {
+            let src =
+                format!("[[allow]]\nrule = \"{rule}\"\npath = \"crates/sim/src/engine.rs\"\nreason = \"nope\"\n");
+            let err = parse(&src).unwrap_err();
+            assert!(
+                err.message.contains("cannot be allowlisted"),
+                "{rule}: {err}"
+            );
+        }
+        // Numeric and hygiene stay allowlistable.
+        let ok = "[[allow]]\nrule = \"numeric/lossy-cast\"\npath = \"p\"\nreason = \"r\"\n";
+        assert!(parse(ok).is_ok());
     }
 }

@@ -28,6 +28,16 @@ pub enum TokenKind {
     Number,
     /// A lifetime (`'a`) — emitted so attribute windows stay aligned.
     Lifetime,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`). The body text is deliberately *not* carried — rules
+    /// must never match inside literals — but the parser needs the
+    /// literal as an expression atom, so a placeholder token is emitted.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`). Like [`Str`], a
+    /// placeholder: the body is dropped, the position kept.
+    ///
+    /// [`Str`]: TokenKind::Str
+    CharLit,
     /// A single punctuation character (`.`, `(`, `#`, `/`, …).
     Punct(char),
 }
@@ -102,9 +112,9 @@ impl<'src> Lexer<'src> {
             match c {
                 b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
                 b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
-                b'"' => self.skip_string(),
+                b'"' => self.string(),
                 b'\'' => self.char_or_lifetime(),
-                b'r' | b'b' if self.is_raw_or_byte_string() => self.skip_raw_or_byte_string(),
+                b'r' | b'b' if self.is_raw_or_byte_string() => self.raw_or_byte_string(),
                 c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
                 c if c.is_ascii_digit() => self.number(),
                 c if c.is_ascii_whitespace() => self.bump(),
@@ -112,6 +122,24 @@ impl<'src> Lexer<'src> {
             }
         }
         self.tokens
+    }
+
+    /// Emits the placeholder token for a string literal ending here.
+    fn push_str_token(&mut self, line: u32) {
+        self.tokens.push(Token {
+            kind: TokenKind::Str,
+            text: "\"\"",
+            line,
+        });
+    }
+
+    /// Emits the placeholder token for a char/byte literal ending here.
+    fn push_char_token(&mut self, line: u32) {
+        self.tokens.push(Token {
+            kind: TokenKind::CharLit,
+            text: "''",
+            line,
+        });
     }
 
     fn skip_line_comment(&mut self) {
@@ -142,8 +170,16 @@ impl<'src> Lexer<'src> {
         }
     }
 
-    fn skip_string(&mut self) {
+    fn string(&mut self) {
+        let line = self.line;
         self.bump(); // opening quote
+        self.escaped_string_body();
+        self.push_str_token(line);
+    }
+
+    /// Consumes the body (and closing quote) of a `"`-delimited literal
+    /// with escape processing — shared by ordinary and byte strings.
+    fn escaped_string_body(&mut self) {
         while let Some(c) = self.peek(0) {
             match c {
                 b'\\' => self.bump_n(2),
@@ -179,16 +215,24 @@ impl<'src> Lexer<'src> {
         }
         // Char literal: consume to the closing quote, honouring escapes.
         self.bump();
+        self.char_body(line);
+    }
+
+    /// Consumes a `'`-delimited body (opening quote already consumed)
+    /// with escape processing, then emits the char-literal placeholder.
+    fn char_body(&mut self, line: u32) {
         while let Some(c) = self.peek(0) {
             match c {
                 b'\\' => self.bump_n(2),
                 b'\'' => {
                     self.bump();
+                    self.push_char_token(line);
                     return;
                 }
                 _ => self.bump(),
             }
         }
+        self.push_char_token(line);
     }
 
     /// Detects `r"`, `r#`, `b"`, `b'`, `br"`, `br#` at the cursor. A bare
@@ -214,26 +258,31 @@ impl<'src> Lexer<'src> {
         }
     }
 
-    fn skip_raw_or_byte_string(&mut self) {
-        // Skip the `r` / `b` / `br` prefix.
-        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
+    fn raw_or_byte_string(&mut self) {
+        let line = self.line;
+        // Consume the `r` / `b` / `br` prefix, remembering whether the
+        // literal is raw: a plain `b"…"` byte string still processes
+        // escapes, only an `r`-prefixed literal is escape-free.
+        let is_raw = if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
             self.bump_n(2);
+            true
         } else {
+            let raw = self.peek(0) == Some(b'r');
             self.bump();
-        }
+            raw
+        };
         if self.peek(0) == Some(b'\'') {
-            // Byte char literal.
+            // Byte char literal (`b'x'`, `b'\''`).
             self.bump();
-            while let Some(c) = self.peek(0) {
-                match c {
-                    b'\\' => self.bump_n(2),
-                    b'\'' => {
-                        self.bump();
-                        return;
-                    }
-                    _ => self.bump(),
-                }
-            }
+            self.char_body(line);
+            return;
+        }
+        if !is_raw {
+            // `b"…"`: escapes work exactly as in ordinary strings, so
+            // `b"\""` must not terminate at the escaped quote.
+            self.bump(); // opening quote
+            self.escaped_string_body();
+            self.push_str_token(line);
             return;
         }
         let mut hashes = 0usize;
@@ -247,19 +296,21 @@ impl<'src> Lexer<'src> {
             while let Some(c) = self.peek(0) {
                 self.bump();
                 if c == b'"' {
-                    return;
+                    break;
                 }
             }
+            self.push_str_token(line);
             return;
         }
         // `r#"..."#`: ends at `"` followed by `hashes` hash marks.
         while let Some(c) = self.peek(0) {
             if c == b'"' && (1..=hashes).all(|k| self.peek(k) == Some(b'#')) {
                 self.bump_n(1 + hashes);
-                return;
+                break;
             }
             self.bump();
         }
+        self.push_str_token(line);
     }
 
     fn ident(&mut self) {
@@ -480,5 +531,96 @@ mod tests {
         assert!(toks.iter().any(|t| t.is_ident("type")));
         assert!(toks.iter().any(|t| t.is_ident("r")));
         assert!(toks.iter().any(|t| t.is_ident("b")));
+    }
+
+    // ------------------------------------------------------------------
+    // Regression tests for the edge cases fixed alongside the parser
+    // upgrade. The byte-string case failed before the fix: `b"…"` was
+    // lexed as if raw, so an escaped quote terminated the literal early
+    // and the remainder of the line leaked into the token stream.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn byte_string_escapes_do_not_leak_content() {
+        // Before the fix `\"` closed the literal, so `Instant` (string
+        // body) became an identifier token — a false lint positive.
+        let src = r#"let x = b"\" Instant HashMap \""; real_code();"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_code".to_string()));
+        for forbidden in ["Instant", "HashMap"] {
+            assert!(!ids.contains(&forbidden.to_string()), "{forbidden} leaked");
+        }
+    }
+
+    #[test]
+    fn byte_char_with_escaped_quote() {
+        let src = r#"let q = b'\''; let bs = b'\\'; after();"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"bs".to_string()) || ids.contains(&"q".to_string()));
+        // Exactly two char-literal placeholders, nothing mis-lexed as a
+        // lifetime or string tail.
+        let chars = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_with_overlapping_delimiters() {
+        // `/*/` opens a nested comment whose `/` overlaps the outer
+        // opener's text; the scanner must track depth, not pairs.
+        let src = "/* outer /*/ inner */ still_comment */ code();\n/* a /* b */ c */ more();";
+        let ids = idents(src);
+        assert!(ids.contains(&"code".to_string()));
+        assert!(ids.contains(&"more".to_string()));
+        for swallowed in ["outer", "inner", "still_comment", "a", "b", "c"] {
+            assert!(
+                !ids.contains(&swallowed.to_string()),
+                "comment text `{swallowed}` leaked"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_strings_with_hash_delimiters() {
+        // A `"#` sequence inside an `r##`-string must not close it, and
+        // the content must never surface as identifiers.
+        let src = r####"let a = r##"end "# not_yet thread_rng"##; let b = r#""#; tail();"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"tail".to_string()));
+        for forbidden in ["not_yet", "thread_rng", "end"] {
+            assert!(!ids.contains(&forbidden.to_string()), "{forbidden} leaked");
+        }
+        // Both raw literals produce exactly one placeholder each.
+        let strs = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .count();
+        assert_eq!(strs, 2);
+    }
+
+    #[test]
+    fn raw_byte_strings_and_suffix_cases() {
+        let src = r####"let a = br##"raw "# bytes OsRng"##; let r = 1; let b = 2; fin();"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"fin".to_string()));
+        assert!(!ids.contains(&"OsRng".to_string()), "raw byte body leaked");
+        assert!(!ids.contains(&"bytes".to_string()));
+    }
+
+    #[test]
+    fn string_tokens_carry_placeholder_text_and_lines() {
+        let toks = tokenize("let a = \"x\";\nlet c = 'y';");
+        let s: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        let c: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(s.first().map(|t| (t.text, t.line)), Some(("\"\"", 1)));
+        assert_eq!(c.first().map(|t| (t.text, t.line)), Some(("''", 2)));
     }
 }

@@ -14,8 +14,13 @@
 //! builds hermetically with no registry access) built from:
 //!
 //! * [`lexer`] — a comment/string/attribute-aware Rust token scanner;
-//! * [`rules`] — the rule set: determinism, robustness, numeric-safety,
-//!   and hygiene families;
+//! * [`parser`] — a forgiving recursive-descent parser producing the
+//!   lightweight [`ast`] (items, fn bodies, expressions, match arms);
+//! * [`rules`] — the rule set: determinism (token and AST),
+//!   exhaustiveness, robustness, numeric-safety, and hygiene families;
+//! * [`callgraph`] — the workspace call graph over parsed fn bodies,
+//!   powering cross-crate panic-reachability and the advisory
+//!   panic-surface counts;
 //! * [`config`] — the checked-in `lint.toml` per-rule, per-path
 //!   allowlist (stale entries are themselves violations);
 //! * [`walk`] — deterministic discovery of `crates/*/src/**/*.rs`;
@@ -29,8 +34,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod ast;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod walk;
@@ -58,18 +66,54 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
     };
     let files = walk::discover(root).map_err(LintError::Io)?;
     let mut raw = Vec::new();
+    let mut parsed = Vec::with_capacity(files.len());
     for file in &files {
         let source = fs::read_to_string(&file.abs_path).map_err(LintError::Io)?;
-        raw.extend(rules::scan_file(
+        let scan = rules::scan_file(
             FileContext {
                 path: &file.rel_path,
                 crate_name: &file.crate_name,
                 is_crate_root: file.is_crate_root,
             },
             &source,
-        ));
+        );
+        raw.extend(scan.findings);
+        parsed.push(callgraph::ParsedFile {
+            path: file.rel_path.clone(),
+            crate_name: file.crate_name.clone(),
+            ast: scan.ast,
+        });
     }
-    Ok(LintReport::build(raw, &allowlist, files.len()))
+
+    // Interprocedural pass: one call graph over every parsed file, with
+    // call edges restricted to each crate's manifest dependency closure.
+    let mut manifests = std::collections::BTreeMap::new();
+    for file in &files {
+        if manifests.contains_key(&file.crate_name) {
+            continue;
+        }
+        let manifest_path = root
+            .join("crates")
+            .join(&file.crate_name)
+            .join("Cargo.toml");
+        match fs::read_to_string(&manifest_path) {
+            Ok(text) => {
+                manifests.insert(file.crate_name.clone(), text);
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(LintError::Io(e)),
+        }
+    }
+    let deps = callgraph::dep_closure(&manifests);
+    let graph = callgraph::CallGraph::build(&parsed);
+    raw.extend(rules::cross_crate_panic_paths(&graph, &deps));
+
+    Ok(LintReport::build(
+        raw,
+        &allowlist,
+        files.len(),
+        graph.panic_surface(),
+    ))
 }
 
 /// Driver-level failures (I/O and configuration, not rule violations).

@@ -1,0 +1,1932 @@
+//! A lightweight recursive-descent Rust parser over the lexer's tokens.
+//!
+//! Scope: items (fns, impls, traits, enums, modules), fn signatures,
+//! blocks, expressions with a Pratt core (binary/unary operators, casts,
+//! calls, method chains, indexing, closures, macros), and `match` arms
+//! with pattern path extraction — exactly what the AST rule families
+//! need, not full rustc. Guarantees:
+//!
+//! * **never fails** — unrecognised constructs degrade to
+//!   [`Expr::Other`]/[`Item::Other`] and the cursor always advances;
+//! * **never panics** — the parser is library code of a robustness crate
+//!   and is checked by its own `robustness/panic-path` rule;
+//! * **bounded recursion** — nesting beyond `MAX_DEPTH` collapses to
+//!   opaque nodes instead of overflowing the stack.
+
+use crate::ast::{Arm, BinOp, Block, EnumDef, Expr, FnDef, ImplDef, Item, ModDef, Pat, SourceAst};
+use crate::lexer::{Token, TokenKind};
+
+/// Nesting bound for blocks/expressions; beyond it the parser emits
+/// opaque nodes (no real workspace file comes close).
+const MAX_DEPTH: u32 = 200;
+
+/// Parses a token stream (from [`crate::lexer::tokenize`]) into the
+/// lightweight AST.
+pub fn parse(tokens: &[Token<'_>]) -> SourceAst {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        depth: 0,
+    };
+    SourceAst {
+        items: p.items(false),
+    }
+}
+
+struct Parser<'a, 'src> {
+    toks: &'a [Token<'src>],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a, 'src> Parser<'a, 'src> {
+    // ---------------------------------------------------------------- utils
+
+    fn peek(&self, n: usize) -> Option<&'a Token<'src>> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    /// Line of the current token (or of the last token at EOF).
+    fn line(&self) -> u32 {
+        match self.peek(0) {
+            Some(t) => t.line,
+            None => self.toks.last().map_or(0, |t| t.line),
+        }
+    }
+
+    fn at(&self, c: char) -> bool {
+        matches!(self.peek(0), Some(t) if t.is_punct(c))
+    }
+
+    fn at_n(&self, n: usize, c: char) -> bool {
+        matches!(self.peek(n), Some(t) if t.is_punct(c))
+    }
+
+    fn at2(&self, a: char, b: char) -> bool {
+        self.at(a) && self.at_n(1, b)
+    }
+
+    fn kw(&self, s: &str) -> bool {
+        matches!(self.peek(0), Some(t) if t.is_ident(s))
+    }
+
+    fn ident_text(&self, n: usize) -> Option<&'src str> {
+        self.peek(n)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+    }
+
+    /// Skips a balanced `open…close` run (cursor on `open`); tolerant of
+    /// EOF and unbalanced input.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a balanced `<…>` generic-argument run (cursor on `<`),
+    /// stepping over `->` so the `>` of an arrow never closes the list.
+    fn skip_angles(&mut self) {
+        let mut depth = 0usize;
+        while !self.eof() {
+            if self.at2('-', '>') {
+                self.bump_n(2);
+                continue;
+            }
+            if self.at('<') {
+                depth += 1;
+            } else if self.at('>') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Like [`skip_angles`] but collects the identifier texts inside (for
+    /// method turbofish like `sum::<f64>()`).
+    ///
+    /// [`skip_angles`]: Parser::skip_angles
+    fn skip_angles_collect(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut depth = 0usize;
+        while !self.eof() {
+            if self.at2('-', '>') {
+                self.bump_n(2);
+                continue;
+            }
+            if self.at('<') {
+                depth += 1;
+            } else if self.at('>') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.bump();
+                    return out;
+                }
+            } else if let Some(t) = self.ident_text(0) {
+                out.push(t.to_string());
+            }
+            self.bump();
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------- items
+
+    /// Parses items until EOF (or an unmatched `}` when `inside_brace`).
+    fn items(&mut self, inside_brace: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        while !self.eof() {
+            if inside_brace && self.at('}') {
+                break;
+            }
+            let before = self.pos;
+            if let Some(item) = self.item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        items
+    }
+
+    /// Parses one item (attributes + visibility + body); `None` for
+    /// tokens that do not start an item.
+    fn item(&mut self) -> Option<Item> {
+        let cfg_test = self.attrs();
+        let is_pub = self.visibility();
+        self.fn_modifiers();
+        self.item_core(cfg_test, is_pub)
+    }
+
+    fn item_core(&mut self, cfg_test: bool, is_pub: bool) -> Option<Item> {
+        if self.kw("fn") {
+            return Some(Item::Fn(self.fn_def(cfg_test, is_pub)));
+        }
+        if self.kw("mod") {
+            self.bump();
+            let name = self.ident_text(0).unwrap_or("").to_string();
+            if !self.eof() && !self.at(';') && !self.at('{') {
+                self.bump();
+            }
+            let items = if self.at('{') {
+                self.bump();
+                let items = self.items(true);
+                if self.at('}') {
+                    self.bump();
+                }
+                items
+            } else {
+                if self.at(';') {
+                    self.bump();
+                }
+                Vec::new()
+            };
+            return Some(Item::Mod(ModDef {
+                name,
+                cfg_test,
+                items,
+            }));
+        }
+        if self.kw("impl") {
+            return Some(self.impl_block(cfg_test));
+        }
+        if self.kw("trait") {
+            return Some(self.trait_block(cfg_test));
+        }
+        if self.kw("enum") {
+            return Some(self.enum_def(cfg_test));
+        }
+        if self.kw("struct") || self.kw("union") {
+            self.bump();
+            if self.ident_text(0).is_some() {
+                self.bump();
+            }
+            if self.at('<') {
+                self.skip_angles();
+            }
+            // Tuple struct `struct X(..)…;` / braced struct / unit struct.
+            self.skip_to_item_end();
+            return Some(Item::Other);
+        }
+        if self.kw("use") || self.kw("type") || self.kw("static") || self.kw("const") {
+            self.skip_to_semicolon();
+            return Some(Item::Other);
+        }
+        if self.kw("extern") {
+            self.bump();
+            if matches!(self.peek(0), Some(t) if t.kind == TokenKind::Str) {
+                self.bump();
+            }
+            if self.at('{') {
+                self.skip_balanced('{', '}');
+            } else {
+                self.skip_to_semicolon();
+            }
+            return Some(Item::Other);
+        }
+        if self.kw("macro_rules") {
+            self.bump();
+            if self.at('!') {
+                self.bump();
+            }
+            if self.ident_text(0).is_some() {
+                self.bump();
+            }
+            if self.at('{') {
+                self.skip_balanced('{', '}');
+            } else if self.at('(') {
+                self.skip_balanced('(', ')');
+                if self.at(';') {
+                    self.bump();
+                }
+            }
+            return Some(Item::Other);
+        }
+        None
+    }
+
+    /// Consumes leading outer/inner attributes; returns whether any was
+    /// `#[test]` or `#[cfg(test)]`.
+    fn attrs(&mut self) -> bool {
+        let mut test = false;
+        loop {
+            let open = if self.at('#') && self.at_n(1, '[') {
+                1
+            } else if self.at('#') && self.at_n(1, '!') && self.at_n(2, '[') {
+                2
+            } else {
+                return test;
+            };
+            let first = self.ident_text(open + 1);
+            if first == Some("test")
+                || (first == Some("cfg")
+                    && self.at_n(open + 2, '(')
+                    && self.ident_text(open + 3) == Some("test")
+                    && self.at_n(open + 4, ')'))
+            {
+                test = true;
+            }
+            self.bump_n(open);
+            self.skip_balanced('[', ']');
+        }
+    }
+
+    /// Consumes `pub` / `pub(restricted)`; returns whether the item is
+    /// unrestricted-public.
+    fn visibility(&mut self) -> bool {
+        if !self.kw("pub") {
+            return false;
+        }
+        self.bump();
+        if self.at('(') {
+            self.skip_balanced('(', ')');
+            return false;
+        }
+        true
+    }
+
+    /// Consumes fn qualifiers (`const`/`async`/`unsafe`/`extern "C"`/
+    /// `default`) when they precede a further qualifier or `fn`.
+    fn fn_modifiers(&mut self) {
+        loop {
+            let next_is_fnish = matches!(
+                self.ident_text(1),
+                Some("fn") | Some("unsafe") | Some("async") | Some("extern") | Some("const")
+            );
+            let bare_qualifier = ((self.kw("const") || self.kw("default")) && next_is_fnish)
+                || ((self.kw("async") || self.kw("unsafe"))
+                    && (next_is_fnish || self.ident_text(1) == Some("fn") || self.kw_ahead_fn()));
+            if bare_qualifier {
+                self.bump();
+            } else if self.kw("extern")
+                && matches!(self.peek(1), Some(t) if t.kind == TokenKind::Str)
+                && self.ident_text(2) == Some("fn")
+            {
+                self.bump_n(2);
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Whether an `fn` keyword appears within the next few qualifier
+    /// slots (so `async unsafe fn` consumes both qualifiers).
+    fn kw_ahead_fn(&self) -> bool {
+        (1..4).any(|n| self.ident_text(n) == Some("fn"))
+    }
+
+    /// Parses `fn name<…>(…) -> … { body }` (cursor on `fn`).
+    fn fn_def(&mut self, cfg_test: bool, is_pub: bool) -> FnDef {
+        let line = self.line();
+        self.bump(); // `fn`
+        let name = self.ident_text(0).unwrap_or("").to_string();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.at('<') {
+            self.skip_angles();
+        }
+        if self.at('(') {
+            self.skip_balanced('(', ')');
+        }
+        // Return type and where-clause: scan to the body or terminator.
+        while !self.eof() && !self.at('{') && !self.at(';') {
+            if self.at('<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        let body = if self.at('{') {
+            Some(self.block())
+        } else {
+            if self.at(';') {
+                self.bump();
+            }
+            None
+        };
+        FnDef {
+            name,
+            line,
+            is_pub,
+            cfg_test,
+            body,
+        }
+    }
+
+    /// Reads a type path (for `impl` headers), returning its last plain
+    /// segment.
+    fn type_path(&mut self) -> String {
+        let mut last = String::new();
+        while self.at('&')
+            || self.at('*')
+            || matches!(self.peek(0), Some(t) if t.kind == TokenKind::Lifetime)
+        {
+            self.bump();
+        }
+        while self.kw("mut") || self.kw("const") || self.kw("dyn") {
+            self.bump();
+        }
+        while let Some(seg) = self.ident_text(0) {
+            if seg == "for" || seg == "where" {
+                break;
+            }
+            last = seg.to_string();
+            self.bump();
+            if self.at('<') {
+                self.skip_angles();
+            }
+            if self.at2(':', ':') {
+                self.bump_n(2);
+                continue;
+            }
+            break;
+        }
+        last
+    }
+
+    fn impl_block(&mut self, cfg_test: bool) -> Item {
+        self.bump(); // `impl`
+        if self.at('<') {
+            self.skip_angles();
+        }
+        let mut type_name = self.type_path();
+        if self.kw("for") {
+            self.bump();
+            type_name = self.type_path();
+        }
+        let fns = self.assoc_body(cfg_test);
+        Item::Impl(ImplDef {
+            type_name,
+            cfg_test,
+            fns,
+        })
+    }
+
+    fn trait_block(&mut self, cfg_test: bool) -> Item {
+        self.bump(); // `trait`
+        let type_name = self.ident_text(0).unwrap_or("").to_string();
+        if !type_name.is_empty() {
+            self.bump();
+        }
+        if self.at('<') {
+            self.skip_angles();
+        }
+        let fns = self.assoc_body(cfg_test);
+        Item::Impl(ImplDef {
+            type_name,
+            cfg_test,
+            fns,
+        })
+    }
+
+    /// Skips to `{`, then parses associated functions until the matching
+    /// `}` (other associated items are skipped).
+    fn assoc_body(&mut self, outer_test: bool) -> Vec<FnDef> {
+        while !self.eof() && !self.at('{') && !self.at(';') {
+            if self.at('<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        let mut fns = Vec::new();
+        if !self.at('{') {
+            if self.at(';') {
+                self.bump();
+            }
+            return fns;
+        }
+        self.bump();
+        while !self.eof() && !self.at('}') {
+            let before = self.pos;
+            let cfg = self.attrs() || outer_test;
+            let is_pub = self.visibility();
+            self.fn_modifiers();
+            if self.kw("fn") {
+                fns.push(self.fn_def(cfg, is_pub));
+            } else {
+                self.skip_to_item_end();
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        if self.at('}') {
+            self.bump();
+        }
+        fns
+    }
+
+    fn enum_def(&mut self, cfg_test: bool) -> Item {
+        self.bump(); // `enum`
+        let name = self.ident_text(0).unwrap_or("").to_string();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.at('<') {
+            self.skip_angles();
+        }
+        while !self.eof() && !self.at('{') && !self.at(';') {
+            self.bump();
+        }
+        let mut variants = Vec::new();
+        if self.at('{') {
+            self.bump();
+            while !self.eof() && !self.at('}') {
+                let before = self.pos;
+                self.attrs();
+                if let Some(v) = self.ident_text(0) {
+                    variants.push(v.to_string());
+                    self.bump();
+                    if self.at('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                    if self.at('{') {
+                        self.skip_balanced('{', '}');
+                    }
+                    if self.at('=') {
+                        while !self.eof() && !self.at(',') && !self.at('}') {
+                            self.bump();
+                        }
+                    }
+                }
+                if self.at(',') {
+                    self.bump();
+                }
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            if self.at('}') {
+                self.bump();
+            }
+        } else if self.at(';') {
+            self.bump();
+        }
+        Item::Enum(EnumDef {
+            name,
+            variants,
+            cfg_test,
+        })
+    }
+
+    /// Skips forward past one item-like construct: a `;` or a balanced
+    /// brace body, whichever comes first.
+    fn skip_to_item_end(&mut self) {
+        while !self.eof() {
+            if self.at(';') {
+                self.bump();
+                return;
+            }
+            if self.at('{') {
+                self.skip_balanced('{', '}');
+                if self.at(';') {
+                    self.bump();
+                }
+                return;
+            }
+            if self.at('(') {
+                self.skip_balanced('(', ')');
+                continue;
+            }
+            if self.at('<') {
+                self.skip_angles();
+                continue;
+            }
+            if self.at('}') {
+                return; // unmatched close: let the caller handle it
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips to and past the next top-level `;` (balancing braces for
+    /// `use a::{b, c};` groups).
+    fn skip_to_semicolon(&mut self) {
+        while !self.eof() {
+            if self.at(';') {
+                self.bump();
+                return;
+            }
+            if self.at('{') {
+                self.skip_balanced('{', '}');
+                continue;
+            }
+            if self.at('(') {
+                self.skip_balanced('(', ')');
+                continue;
+            }
+            if self.at('<') {
+                self.skip_angles();
+                continue;
+            }
+            if self.at('}') {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    // ---------------------------------------------------------------- blocks
+
+    /// Parses a `{ … }` block (cursor on `{`).
+    fn block(&mut self) -> Block {
+        if self.depth > MAX_DEPTH {
+            self.skip_balanced('{', '}');
+            return Block::default();
+        }
+        self.depth += 1;
+        self.bump(); // `{`
+        let mut block = Block::default();
+        while !self.eof() && !self.at('}') {
+            let before = self.pos;
+            self.stmt(&mut block);
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        if self.at('}') {
+            self.bump();
+        }
+        self.depth -= 1;
+        block
+    }
+
+    fn stmt(&mut self, block: &mut Block) {
+        if self.at(';') {
+            self.bump();
+            return;
+        }
+        let cfg_test = self.attrs();
+        let is_pub = self.visibility();
+        self.fn_modifiers();
+        if self.kw("let") {
+            self.let_stmt(block);
+            return;
+        }
+        // `const`/`static` in statement position are items, not exprs.
+        if let Some(item) = self.item_core(cfg_test, is_pub) {
+            block.items.push(item);
+            return;
+        }
+        let expr = self.expr(false);
+        block.exprs.push(expr);
+        if self.at(';') {
+            self.bump();
+        }
+    }
+
+    /// `let PAT[: TY] = EXPR [else { … }];` — the pattern and type are
+    /// skipped, the initialiser (and let-else block) are kept.
+    fn let_stmt(&mut self, block: &mut Block) {
+        self.bump(); // `let`
+        let (mut par, mut brk) = (0usize, 0usize);
+        // Scan to the `=` that starts the initialiser. `..=` range
+        // patterns and associated-type bindings inside `<…>` are stepped
+        // over so their `=` never terminates the scan.
+        while !self.eof() {
+            if self.at(';') {
+                self.bump();
+                return; // no initialiser
+            }
+            if par == 0 && brk == 0 && self.at('<') {
+                self.skip_angles();
+                continue;
+            }
+            if self.at2('.', '.') {
+                self.bump_n(2);
+                if self.at('=') {
+                    self.bump();
+                }
+                continue;
+            }
+            if par == 0 && brk == 0 && self.at('=') && !self.at_n(1, '=') {
+                self.bump();
+                break;
+            }
+            if self.at('(') {
+                par += 1;
+            } else if self.at(')') {
+                par = par.saturating_sub(1);
+            } else if self.at('[') {
+                brk += 1;
+            } else if self.at(']') {
+                brk = brk.saturating_sub(1);
+            }
+            self.bump();
+        }
+        let init = self.expr(false);
+        block.exprs.push(init);
+        if self.kw("else") {
+            self.bump();
+            if self.at('{') {
+                block.exprs.push(Expr::Block(self.block()));
+            }
+        }
+        if self.at(';') {
+            self.bump();
+        }
+    }
+
+    // ------------------------------------------------------------ expressions
+
+    /// Parses one expression. `nsl` ("no struct literal") is set in
+    /// `if`/`while`/`match`/`for` header position, where `Path {`
+    /// starts the body block rather than a struct literal.
+    fn expr(&mut self, nsl: bool) -> Expr {
+        self.expr_bp(0, nsl)
+    }
+
+    fn expr_bp(&mut self, min_bp: u8, nsl: bool) -> Expr {
+        if self.depth > MAX_DEPTH {
+            let line = self.line();
+            self.bump();
+            return Expr::Other { line };
+        }
+        self.depth += 1;
+        let atom = self.prefix(nsl);
+        let mut lhs = self.postfix(atom, nsl);
+        while let Some(op) = self.infix_op() {
+            if op.l_bp < min_bp {
+                break;
+            }
+            let line = self.line();
+            if op.is_cast {
+                self.bump(); // `as`
+                let ty = self.cast_type();
+                lhs = Expr::Cast {
+                    expr: Box::new(lhs),
+                    ty,
+                    line,
+                };
+                continue;
+            }
+            self.bump_n(op.len);
+            if op.is_range && !self.can_start_expr(nsl) {
+                lhs = Expr::Group {
+                    exprs: vec![lhs], // open-ended range: `a..`
+                };
+                continue;
+            }
+            let rhs = self.expr_bp(op.r_bp, nsl);
+            lhs = Expr::Binary {
+                op: op.bin,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        self.depth -= 1;
+        lhs
+    }
+
+    /// Whether the current token can begin an expression (used to decide
+    /// if `return`/`break`/`a..` have an operand).
+    fn can_start_expr(&self, nsl: bool) -> bool {
+        match self.peek(0) {
+            None => false,
+            Some(t) => match t.kind {
+                TokenKind::Number | TokenKind::Str | TokenKind::CharLit | TokenKind::Lifetime => {
+                    true
+                }
+                TokenKind::Ident => !matches!(t.text, "else" | "in" | "where" | "as"),
+                TokenKind::Punct(c) => match c {
+                    '(' | '[' | '-' | '!' | '*' | '&' | '|' => true,
+                    '{' => !nsl,
+                    '.' => self.at_n(1, '.'),
+                    _ => false,
+                },
+            },
+        }
+    }
+
+    fn infix_op(&self) -> Option<InfixOp> {
+        if self.kw("as") {
+            return Some(InfixOp::cast());
+        }
+        let c = match self.peek(0) {
+            Some(t) => match t.kind {
+                TokenKind::Punct(c) => c,
+                _ => return None,
+            },
+            None => return None,
+        };
+        let next = |n: usize, c: char| self.at_n(n, c);
+        let op = match c {
+            '=' if next(1, '=') => InfixOp::new(BinOp::Eq, 10, 11, 2),
+            '=' if next(1, '>') => return None, // match-arm arrow
+            '=' => InfixOp::new(BinOp::Other, 2, 1, 1), // assignment
+            '!' if next(1, '=') => InfixOp::new(BinOp::Ne, 10, 11, 2),
+            '!' => return None,
+            '<' if next(1, '<') && next(2, '=') => InfixOp::new(BinOp::Other, 2, 1, 3),
+            '<' if next(1, '<') => InfixOp::new(BinOp::Other, 18, 19, 2),
+            '<' if next(1, '=') => InfixOp::new(BinOp::Other, 10, 11, 2),
+            '<' => InfixOp::new(BinOp::Other, 10, 11, 1),
+            '>' if next(1, '>') && next(2, '=') => InfixOp::new(BinOp::Other, 2, 1, 3),
+            '>' if next(1, '>') => InfixOp::new(BinOp::Other, 18, 19, 2),
+            '>' if next(1, '=') => InfixOp::new(BinOp::Other, 10, 11, 2),
+            '>' => InfixOp::new(BinOp::Other, 10, 11, 1),
+            '&' if next(1, '&') => InfixOp::new(BinOp::Other, 8, 9, 2),
+            '&' if next(1, '=') => InfixOp::new(BinOp::Other, 2, 1, 2),
+            '&' => InfixOp::new(BinOp::Other, 16, 17, 1),
+            '|' if next(1, '|') => InfixOp::new(BinOp::Other, 6, 7, 2),
+            '|' if next(1, '=') => InfixOp::new(BinOp::Other, 2, 1, 2),
+            '|' => InfixOp::new(BinOp::Other, 12, 13, 1),
+            '^' if next(1, '=') => InfixOp::new(BinOp::Other, 2, 1, 2),
+            '^' => InfixOp::new(BinOp::Other, 14, 15, 1),
+            '+' if next(1, '=') => InfixOp::new(BinOp::Other, 2, 1, 2),
+            '+' => InfixOp::new(BinOp::Other, 20, 21, 1),
+            '-' if next(1, '=') => InfixOp::new(BinOp::Other, 2, 1, 2),
+            '-' if next(1, '>') => return None, // stray arrow
+            '-' => InfixOp::new(BinOp::Other, 20, 21, 1),
+            '*' if next(1, '=') => InfixOp::new(BinOp::Other, 2, 1, 2),
+            '*' => InfixOp::new(BinOp::Other, 22, 23, 1),
+            '/' if next(1, '=') => InfixOp::new(BinOp::Other, 2, 1, 2),
+            '/' => InfixOp::new(BinOp::Div, 22, 23, 1),
+            '%' if next(1, '=') => InfixOp::new(BinOp::Other, 2, 1, 2),
+            '%' => InfixOp::new(BinOp::Rem, 22, 23, 1),
+            '.' if next(1, '.') && next(2, '=') => InfixOp::range(3),
+            '.' if next(1, '.') => InfixOp::range(2),
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    /// Reads the target type of an `as` cast, returning its final
+    /// identifier (`f64` in `as f64`, `u32` in `as std::primitive::u32`).
+    fn cast_type(&mut self) -> String {
+        while self.at('&') || self.at('*') {
+            self.bump();
+        }
+        while self.kw("mut") || self.kw("const") || self.kw("dyn") {
+            self.bump();
+        }
+        let mut last = String::new();
+        while let Some(seg) = self.ident_text(0) {
+            last = seg.to_string();
+            self.bump();
+            if self.at2(':', ':') {
+                self.bump_n(2);
+                continue;
+            }
+            // Generic arguments only on capitalised types: `Vec<f64>` is
+            // generic, but `x as u32 < y` is a comparison.
+            if self.at('<') && seg.starts_with(char::is_uppercase) {
+                self.skip_angles();
+            }
+            break;
+        }
+        last
+    }
+
+    // ------------------------------------------------------------ prefix/atom
+
+    fn prefix(&mut self, nsl: bool) -> Expr {
+        if self.depth > MAX_DEPTH {
+            let line = self.line();
+            self.bump();
+            return Expr::Other { line };
+        }
+        let line = self.line();
+        let Some(tok) = self.peek(0) else {
+            return Expr::Other { line };
+        };
+        match tok.kind {
+            TokenKind::Number => {
+                let text = tok.text.to_string();
+                self.bump();
+                Expr::Number { text, line }
+            }
+            TokenKind::Str | TokenKind::CharLit => {
+                self.bump();
+                Expr::Literal { line }
+            }
+            TokenKind::Lifetime => {
+                // Loop label: `'outer: loop { … }`.
+                self.bump();
+                if self.at(':') {
+                    self.bump();
+                }
+                self.prefix(nsl)
+            }
+            TokenKind::Punct(c) => self.prefix_punct(c, line, nsl),
+            TokenKind::Ident => self.prefix_ident(line, nsl),
+        }
+    }
+
+    fn prefix_punct(&mut self, c: char, line: u32, nsl: bool) -> Expr {
+        match c {
+            '-' | '!' | '*' => {
+                self.bump();
+                self.depth += 1;
+                let inner = self.expr_bp(26, nsl);
+                self.depth -= 1;
+                Expr::Group { exprs: vec![inner] }
+            }
+            '&' => {
+                self.bump();
+                if self.kw("mut") {
+                    self.bump();
+                }
+                self.depth += 1;
+                let inner = self.expr_bp(26, nsl);
+                self.depth -= 1;
+                Expr::Group { exprs: vec![inner] }
+            }
+            '|' => self.closure(line, nsl),
+            '(' => {
+                self.bump();
+                let exprs = self.expr_list(')');
+                Expr::Group { exprs }
+            }
+            '[' => {
+                self.bump();
+                let exprs = self.expr_list(']');
+                Expr::Group { exprs }
+            }
+            '{' => Expr::Block(self.block()),
+            '.' if self.at_n(1, '.') => {
+                // Prefix range `..n` / `..=n`.
+                self.bump_n(2);
+                if self.at('=') {
+                    self.bump();
+                }
+                if self.can_start_expr(nsl) {
+                    self.depth += 1;
+                    let inner = self.expr_bp(5, nsl);
+                    self.depth -= 1;
+                    Expr::Group { exprs: vec![inner] }
+                } else {
+                    Expr::Group { exprs: Vec::new() }
+                }
+            }
+            _ => {
+                self.bump();
+                Expr::Other { line }
+            }
+        }
+    }
+
+    /// Parses a comma/semicolon-separated expression list up to `close`
+    /// (cursor just past the opener), consuming the closer.
+    fn expr_list(&mut self, close: char) -> Vec<Expr> {
+        let mut exprs = Vec::new();
+        while !self.eof() && !self.at(close) {
+            let before = self.pos;
+            exprs.push(self.expr(false));
+            if self.at(',') || self.at(';') {
+                self.bump();
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        if self.at(close) {
+            self.bump();
+        }
+        exprs
+    }
+
+    fn prefix_ident(&mut self, line: u32, nsl: bool) -> Expr {
+        let Some(word) = self.ident_text(0) else {
+            return Expr::Other { line };
+        };
+        match word {
+            "if" => self.if_expr(),
+            "while" => {
+                self.bump();
+                let cond = self.condition();
+                let body = self.block_or_empty();
+                Expr::Block(Block {
+                    exprs: vec![cond, Expr::Block(body)],
+                    items: Vec::new(),
+                })
+            }
+            "loop" => {
+                self.bump();
+                let body = self.block_or_empty();
+                Expr::Block(body)
+            }
+            "for" => self.for_expr(),
+            "match" => self.match_expr(line),
+            "unsafe" => {
+                self.bump();
+                if self.at('{') {
+                    Expr::Block(self.block())
+                } else {
+                    Expr::Other { line }
+                }
+            }
+            "async" => {
+                self.bump();
+                if self.kw("move") {
+                    self.bump();
+                }
+                if self.at('{') {
+                    Expr::Block(self.block())
+                } else {
+                    self.prefix(nsl)
+                }
+            }
+            "move" => {
+                self.bump();
+                if self.at('|') {
+                    self.closure(line, nsl)
+                } else {
+                    Expr::Other { line }
+                }
+            }
+            "return" | "break" => {
+                self.bump();
+                if matches!(self.peek(0), Some(t) if t.kind == TokenKind::Lifetime) {
+                    self.bump();
+                }
+                if self.can_start_expr(nsl) {
+                    self.depth += 1;
+                    let inner = self.expr_bp(2, nsl);
+                    self.depth -= 1;
+                    Expr::Group { exprs: vec![inner] }
+                } else {
+                    Expr::Group { exprs: Vec::new() }
+                }
+            }
+            "continue" => {
+                self.bump();
+                if matches!(self.peek(0), Some(t) if t.kind == TokenKind::Lifetime) {
+                    self.bump();
+                }
+                Expr::Group { exprs: Vec::new() }
+            }
+            "let" => {
+                // Let-condition fragment inside an `&&` chain.
+                self.let_condition()
+            }
+            "const" => {
+                self.bump();
+                if self.at('{') {
+                    Expr::Block(self.block())
+                } else {
+                    Expr::Other { line }
+                }
+            }
+            "_" => {
+                self.bump();
+                Expr::Other { line }
+            }
+            _ => self.path_atom(line, nsl),
+        }
+    }
+
+    /// `if [let PAT =] COND { … } [else …]`, flattened to a block node.
+    fn if_expr(&mut self) -> Expr {
+        self.bump(); // `if`
+        let cond = self.condition();
+        let then = self.block_or_empty();
+        let mut exprs = vec![cond, Expr::Block(then)];
+        if self.kw("else") {
+            self.bump();
+            if self.kw("if") {
+                exprs.push(self.if_expr());
+            } else if self.at('{') {
+                exprs.push(Expr::Block(self.block()));
+            }
+        }
+        Expr::Block(Block {
+            exprs,
+            items: Vec::new(),
+        })
+    }
+
+    /// An `if`/`while` condition, supporting `let`-chains.
+    fn condition(&mut self) -> Expr {
+        if self.kw("let") {
+            let first = self.let_condition();
+            // Continue any `&& …` chain from the let fragment.
+            let mut exprs = vec![first];
+            while self.at2('&', '&') {
+                self.bump_n(2);
+                if self.kw("let") {
+                    exprs.push(self.let_condition());
+                } else {
+                    self.depth += 1;
+                    exprs.push(self.expr_bp(9, true));
+                    self.depth -= 1;
+                }
+            }
+            if exprs.len() == 1 {
+                exprs.pop().unwrap_or(Expr::Group { exprs: Vec::new() })
+            } else {
+                Expr::Group { exprs }
+            }
+        } else {
+            self.expr(true)
+        }
+    }
+
+    /// `let PAT = SCRUTINEE` in condition position; the pattern is
+    /// skipped, the scrutinee kept (parsed to just above `&&`).
+    fn let_condition(&mut self) -> Expr {
+        self.bump(); // `let`
+        let (mut par, mut brk, mut brc) = (0usize, 0usize, 0usize);
+        while !self.eof() {
+            if self.at2('.', '.') {
+                self.bump_n(2);
+                if self.at('=') {
+                    self.bump();
+                }
+                continue;
+            }
+            if par == 0 && brk == 0 && brc == 0 && self.at('=') && !self.at_n(1, '=') {
+                self.bump();
+                break;
+            }
+            if self.at('(') {
+                par += 1;
+            } else if self.at(')') {
+                if par == 0 {
+                    break; // malformed; bail before eating the caller's `)`
+                }
+                par -= 1;
+            } else if self.at('[') {
+                brk += 1;
+            } else if self.at(']') {
+                brk = brk.saturating_sub(1);
+            } else if self.at('{') {
+                brc += 1;
+            } else if self.at('}') {
+                if brc == 0 {
+                    break;
+                }
+                brc -= 1;
+            }
+            self.bump();
+        }
+        self.depth += 1;
+        let scrutinee = self.expr_bp(9, true);
+        self.depth -= 1;
+        Expr::Group {
+            exprs: vec![scrutinee],
+        }
+    }
+
+    /// `for PAT in ITER { … }`, flattened to a block node.
+    fn for_expr(&mut self) -> Expr {
+        self.bump(); // `for`
+        let (mut par, mut brk) = (0usize, 0usize);
+        while !self.eof() {
+            if par == 0 && brk == 0 && self.kw("in") {
+                self.bump();
+                break;
+            }
+            if self.at('(') {
+                par += 1;
+            } else if self.at(')') {
+                par = par.saturating_sub(1);
+            } else if self.at('[') {
+                brk += 1;
+            } else if self.at(']') {
+                brk = brk.saturating_sub(1);
+            } else if self.at('{') || self.at('}') {
+                break; // malformed header
+            }
+            self.bump();
+        }
+        let iter = self.expr(true);
+        let body = self.block_or_empty();
+        Expr::Block(Block {
+            exprs: vec![iter, Expr::Block(body)],
+            items: Vec::new(),
+        })
+    }
+
+    fn block_or_empty(&mut self) -> Block {
+        if self.at('{') {
+            self.block()
+        } else {
+            Block::default()
+        }
+    }
+
+    // ---------------------------------------------------------------- match
+
+    fn match_expr(&mut self, line: u32) -> Expr {
+        self.bump(); // `match`
+        let scrutinee = self.expr(true);
+        let mut arms = Vec::new();
+        if self.at('{') {
+            self.bump();
+            while !self.eof() && !self.at('}') {
+                let before = self.pos;
+                if let Some(arm) = self.match_arm() {
+                    arms.push(arm);
+                }
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            if self.at('}') {
+                self.bump();
+            }
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        }
+    }
+
+    fn match_arm(&mut self) -> Option<Arm> {
+        self.attrs();
+        if self.eof() || self.at('}') {
+            return None;
+        }
+        let line = self.line();
+        let pat_start = self.pos;
+        let mut guard_at: Option<usize> = None;
+        let (mut par, mut brk, mut brc) = (0usize, 0usize, 0usize);
+        // Scan the pattern (and any guard) up to the `=>` arrow.
+        while !self.eof() {
+            if par == 0 && brk == 0 && brc == 0 {
+                if self.at2('=', '>') {
+                    break;
+                }
+                if self.kw("if") && guard_at.is_none() {
+                    guard_at = Some(self.pos);
+                }
+            }
+            if self.at2('.', '.') {
+                self.bump_n(2);
+                if self.at('=') {
+                    self.bump();
+                }
+                continue;
+            }
+            if self.at('(') {
+                par += 1;
+            } else if self.at(')') {
+                par = par.saturating_sub(1);
+            } else if self.at('[') {
+                brk += 1;
+            } else if self.at(']') {
+                brk = brk.saturating_sub(1);
+            } else if self.at('{') {
+                brc += 1;
+            } else if self.at('}') {
+                if brc == 0 {
+                    return None; // ran off the end of the match body
+                }
+                brc -= 1;
+            }
+            self.bump();
+        }
+        let arrow = self.pos;
+        let pat_end = guard_at.unwrap_or(arrow);
+        let pat = build_pat(self.toks.get(pat_start..pat_end).unwrap_or(&[]));
+        // Parse the guard expression (if any) from its token span so the
+        // rules still see calls and float comparisons inside guards.
+        let guard_expr = guard_at.map(|g| {
+            let mut sub = Parser {
+                toks: self.toks.get(g + 1..arrow).unwrap_or(&[]),
+                pos: 0,
+                depth: self.depth,
+            };
+            sub.expr(true)
+        });
+        if self.at2('=', '>') {
+            self.bump_n(2);
+        }
+        let body = self.expr(false);
+        if self.at(',') {
+            self.bump();
+        }
+        let body = match guard_expr {
+            Some(g) => Expr::Group {
+                exprs: vec![g, body],
+            },
+            None => body,
+        };
+        Some(Arm {
+            pat,
+            has_guard: guard_at.is_some(),
+            body,
+            line,
+        })
+    }
+
+    // ------------------------------------------------------------- postfix
+
+    fn postfix(&mut self, mut lhs: Expr, _nsl: bool) -> Expr {
+        loop {
+            if self.at('.') && self.at_n(1, '.') {
+                break; // range operator, handled as infix
+            }
+            if self.at('.') {
+                let line = self.line();
+                match self.peek(1).map(|t| t.kind) {
+                    Some(TokenKind::Number) => {
+                        let name = self.peek(1).map(|t| t.text).unwrap_or("").to_string();
+                        self.bump_n(2);
+                        lhs = Expr::Field {
+                            recv: Box::new(lhs),
+                            name,
+                            line,
+                        };
+                    }
+                    Some(TokenKind::Ident) => {
+                        let name = self.peek(1).map(|t| t.text).unwrap_or("").to_string();
+                        self.bump_n(2);
+                        let mut turbofish = Vec::new();
+                        if self.at2(':', ':') && self.at_n(2, '<') {
+                            self.bump_n(2);
+                            turbofish = self.skip_angles_collect();
+                        }
+                        if self.at('(') {
+                            let args = self.call_args();
+                            lhs = Expr::Method {
+                                recv: Box::new(lhs),
+                                name,
+                                turbofish,
+                                args,
+                                line,
+                            };
+                        } else {
+                            lhs = Expr::Field {
+                                recv: Box::new(lhs),
+                                name,
+                                line,
+                            };
+                        }
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+                continue;
+            }
+            if self.at('?') {
+                self.bump();
+                continue;
+            }
+            if self.at('(') {
+                let line = lhs.line();
+                let args = self.call_args();
+                lhs = Expr::Call {
+                    callee: Box::new(lhs),
+                    args,
+                    line,
+                };
+                continue;
+            }
+            if self.at('[') {
+                let line = self.line();
+                self.bump();
+                let mut inner = self.expr_list(']');
+                let index = if inner.len() == 1 {
+                    inner.pop().unwrap_or(Expr::Other { line })
+                } else {
+                    Expr::Group { exprs: inner }
+                };
+                lhs = Expr::Index {
+                    recv: Box::new(lhs),
+                    index: Box::new(index),
+                    line,
+                };
+                continue;
+            }
+            break;
+        }
+        lhs
+    }
+
+    fn call_args(&mut self) -> Vec<Expr> {
+        self.bump(); // `(`
+        let mut args = Vec::new();
+        while !self.eof() && !self.at(')') {
+            let before = self.pos;
+            args.push(self.expr(false));
+            if self.at(',') {
+                self.bump();
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        if self.at(')') {
+            self.bump();
+        }
+        args
+    }
+
+    // ----------------------------------------------------------- path atoms
+
+    fn path_atom(&mut self, line: u32, nsl: bool) -> Expr {
+        let mut segs = Vec::new();
+        if let Some(first) = self.ident_text(0) {
+            segs.push(first.to_string());
+            self.bump();
+        }
+        while self.at2(':', ':') {
+            if self.at_n(2, '<') {
+                self.bump_n(2);
+                self.skip_angles(); // path turbofish, dropped
+                continue;
+            }
+            match self.ident_text(2) {
+                Some(seg) => {
+                    segs.push(seg.to_string());
+                    self.bump_n(3);
+                }
+                None => break,
+            }
+        }
+        // Macro invocation `name!(…)` / `name![…]` / `name!{…}`.
+        if self.at('!') && (self.at_n(1, '(') || self.at_n(1, '[') || self.at_n(1, '{')) {
+            let name = segs.last().cloned().unwrap_or_default();
+            self.bump(); // `!`
+            let args = self.macro_args();
+            return Expr::Macro { name, args, line };
+        }
+        // Struct literal `Path { field: expr, … }`.
+        if !nsl && self.at('{') {
+            let mut exprs = vec![Expr::Path { segs, line }];
+            self.bump();
+            while !self.eof() && !self.at('}') {
+                let before = self.pos;
+                self.attrs();
+                if self.at2('.', '.') {
+                    self.bump_n(2);
+                    if self.can_start_expr(false) {
+                        exprs.push(self.expr(false));
+                    }
+                } else {
+                    // `name: expr` or shorthand `name`.
+                    if self.ident_text(0).is_some() && self.at_n(1, ':') && !self.at_n(2, ':') {
+                        self.bump_n(2);
+                    }
+                    exprs.push(self.expr(false));
+                }
+                if self.at(',') {
+                    self.bump();
+                }
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            if self.at('}') {
+                self.bump();
+            }
+            return Expr::Group { exprs };
+        }
+        Expr::Path { segs, line }
+    }
+
+    /// Parses macro arguments best-effort: the balanced delimiter run is
+    /// split on top-level commas and each piece parsed as an expression.
+    fn macro_args(&mut self) -> Vec<Expr> {
+        let (open, close) = if self.at('(') {
+            ('(', ')')
+        } else if self.at('[') {
+            ('[', ']')
+        } else {
+            ('{', '}')
+        };
+        let body_start = self.pos + 1;
+        self.skip_balanced(open, close);
+        let body_end = self.pos.saturating_sub(1).max(body_start);
+        let body = self.toks.get(body_start..body_end).unwrap_or(&[]);
+        // Split on top-level commas.
+        let mut args = Vec::new();
+        let (mut par, mut brk, mut brc) = (0usize, 0usize, 0usize);
+        let mut piece_start = 0usize;
+        for (i, t) in body.iter().enumerate() {
+            match t.kind {
+                TokenKind::Punct('(') => par += 1,
+                TokenKind::Punct(')') => par = par.saturating_sub(1),
+                TokenKind::Punct('[') => brk += 1,
+                TokenKind::Punct(']') => brk = brk.saturating_sub(1),
+                TokenKind::Punct('{') => brc += 1,
+                TokenKind::Punct('}') => brc = brc.saturating_sub(1),
+                TokenKind::Punct(',') if par == 0 && brk == 0 && brc == 0 => {
+                    args.push(parse_fragment(
+                        body.get(piece_start..i).unwrap_or(&[]),
+                        self.depth,
+                    ));
+                    piece_start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        if piece_start < body.len() {
+            args.push(parse_fragment(
+                body.get(piece_start..).unwrap_or(&[]),
+                self.depth,
+            ));
+        }
+        args
+    }
+
+    fn closure(&mut self, line: u32, nsl: bool) -> Expr {
+        if self.at2('|', '|') {
+            self.bump_n(2);
+        } else {
+            self.bump(); // opening `|`
+            let mut par = 0usize;
+            while !self.eof() {
+                if par == 0 && self.at('|') {
+                    self.bump();
+                    break;
+                }
+                if self.at('(') {
+                    par += 1;
+                } else if self.at(')') {
+                    par = par.saturating_sub(1);
+                } else if self.at('<') {
+                    self.skip_angles();
+                    continue;
+                }
+                self.bump();
+            }
+        }
+        let body = if self.at2('-', '>') {
+            // Annotated return type: the body must be a block.
+            while !self.eof() && !self.at('{') {
+                if self.at('<') {
+                    self.skip_angles();
+                } else {
+                    self.bump();
+                }
+            }
+            if self.at('{') {
+                Expr::Block(self.block())
+            } else {
+                Expr::Other { line }
+            }
+        } else {
+            self.depth += 1;
+            let b = self.expr_bp(2, nsl);
+            self.depth -= 1;
+            b
+        };
+        Expr::Closure {
+            body: Box::new(body),
+            line,
+        }
+    }
+}
+
+/// Parses an isolated token fragment (macro argument) as an expression.
+fn parse_fragment(toks: &[Token<'_>], depth: u32) -> Expr {
+    let mut sub = Parser {
+        toks,
+        pos: 0,
+        depth,
+    };
+    sub.expr(false)
+}
+
+struct InfixOp {
+    bin: BinOp,
+    l_bp: u8,
+    r_bp: u8,
+    len: usize,
+    is_cast: bool,
+    is_range: bool,
+}
+
+impl InfixOp {
+    fn new(bin: BinOp, l_bp: u8, r_bp: u8, len: usize) -> Self {
+        InfixOp {
+            bin,
+            l_bp,
+            r_bp,
+            len,
+            is_cast: false,
+            is_range: false,
+        }
+    }
+
+    fn cast() -> Self {
+        InfixOp {
+            bin: BinOp::Other,
+            l_bp: 24,
+            r_bp: 25,
+            len: 1,
+            is_cast: true,
+            is_range: false,
+        }
+    }
+
+    fn range(len: usize) -> Self {
+        InfixOp {
+            bin: BinOp::Other,
+            l_bp: 4,
+            r_bp: 5,
+            len,
+            is_cast: false,
+            is_range: true,
+        }
+    }
+}
+
+/// Builds the reduced pattern model from a pattern token span.
+fn build_pat(toks: &[Token<'_>]) -> Pat {
+    let mut paths = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_path_start = matches!(toks.get(i), Some(t) if t.kind == TokenKind::Ident)
+            && !(i >= 2
+                && matches!(toks.get(i - 1), Some(t) if t.is_punct(':'))
+                && matches!(toks.get(i - 2), Some(t) if t.is_punct(':')));
+        if is_path_start {
+            let mut segs = Vec::new();
+            let mut j = i;
+            while let Some(t) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) {
+                segs.push(t.text.to_string());
+                let sep = matches!(toks.get(j + 1), Some(t) if t.is_punct(':'))
+                    && matches!(toks.get(j + 2), Some(t) if t.is_punct(':'));
+                if sep {
+                    j += 3;
+                } else {
+                    break;
+                }
+            }
+            let keep = segs.len() > 1
+                || segs
+                    .first()
+                    .is_some_and(|s| s.starts_with(char::is_uppercase));
+            let next_i = j + 1;
+            if keep {
+                paths.push(segs);
+            }
+            i = next_i;
+        } else {
+            i += 1;
+        }
+    }
+    Pat {
+        paths,
+        top_wildcard: has_top_wildcard(toks),
+    }
+}
+
+/// Whether any top-level `|` alternative of the pattern is a catch-all
+/// (`_` or a bare lowercase binding).
+fn has_top_wildcard(toks: &[Token<'_>]) -> bool {
+    let (mut par, mut brk, mut brc) = (0usize, 0usize, 0usize);
+    let mut alt_start = 0usize;
+    let mut alts: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct('(') => par += 1,
+            TokenKind::Punct(')') => par = par.saturating_sub(1),
+            TokenKind::Punct('[') => brk += 1,
+            TokenKind::Punct(']') => brk = brk.saturating_sub(1),
+            TokenKind::Punct('{') => brc += 1,
+            TokenKind::Punct('}') => brc = brc.saturating_sub(1),
+            TokenKind::Punct('|') if par == 0 && brk == 0 && brc == 0 => {
+                alts.push((alt_start, i));
+                alt_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    alts.push((alt_start, toks.len()));
+    alts.iter().any(|&(a, b)| {
+        let mut alt: Vec<&Token<'_>> = toks
+            .get(a..b)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default();
+        // Strip binding modifiers.
+        while alt
+            .first()
+            .is_some_and(|t| t.is_ident("ref") || t.is_ident("mut"))
+        {
+            alt.remove(0);
+        }
+        match (alt.len(), alt.first()) {
+            (1, Some(t)) if t.kind == TokenKind::Ident => {
+                t.text == "_" || t.text.starts_with(char::is_lowercase)
+            }
+            _ => false,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::visit_fns;
+    use crate::lexer::tokenize;
+
+    fn parse_src(src: &str) -> SourceAst {
+        parse(&tokenize(src))
+    }
+
+    fn fn_names(ast: &SourceAst) -> Vec<(String, bool, bool)> {
+        let mut out = Vec::new();
+        visit_fns(&ast.items, &mut |f, _, test| {
+            out.push((f.name.clone(), f.is_pub, test));
+        });
+        out
+    }
+
+    #[test]
+    fn items_and_test_attribution() {
+        let src = r#"
+            pub fn api() {}
+            fn private() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {}
+            }
+            impl Engine {
+                pub fn step(&mut self) {}
+            }
+        "#;
+        let ast = parse_src(src);
+        let fns = fn_names(&ast);
+        assert_eq!(
+            fns,
+            vec![
+                ("api".to_string(), true, false),
+                ("private".to_string(), false, false),
+                ("t".to_string(), false, true),
+                ("step".to_string(), true, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn enum_variants_are_collected() {
+        let src = "pub enum E { A, B(u32), C { x: f64 }, D = 4 }";
+        let ast = parse_src(src);
+        let Some(Item::Enum(e)) = ast.items.first() else {
+            panic!("expected enum, got {:?}", ast.items);
+        };
+        assert_eq!(e.name, "E");
+        assert_eq!(e.variants, ["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn match_arms_and_wildcards() {
+        let src = r#"
+            fn f(e: TraceEvent) -> u64 {
+                match e {
+                    TraceEvent::NodeUp { .. } => 1,
+                    TraceEvent::NodeDown(t) if t > 0 => 2,
+                    _ => 0,
+                }
+            }
+        "#;
+        let ast = parse_src(src);
+        let mut arms = Vec::new();
+        visit_fns(&ast.items, &mut |f, _, _| {
+            if let Some(b) = &f.body {
+                for e in &b.exprs {
+                    e.walk(&mut |x| {
+                        if let Expr::Match { arms: a, .. } = x {
+                            arms = a.clone();
+                        }
+                    });
+                }
+            }
+        });
+        assert_eq!(arms.len(), 3);
+        assert!(arms[0]
+            .pat
+            .paths
+            .contains(&vec!["TraceEvent".to_string(), "NodeUp".to_string()]));
+        assert!(!arms[0].pat.top_wildcard);
+        assert!(arms[1].has_guard);
+        assert!(arms[2].pat.top_wildcard);
+    }
+
+    #[test]
+    fn binding_arm_counts_as_wildcard() {
+        let src = "fn f(e: E) { match e { E::A => {}, other => {} } }";
+        let ast = parse_src(src);
+        let mut wild = 0;
+        visit_fns(&ast.items, &mut |f, _, _| {
+            if let Some(b) = &f.body {
+                for e in &b.exprs {
+                    e.walk(&mut |x| {
+                        if let Expr::Match { arms, .. } = x {
+                            wild = arms.iter().filter(|a| a.pat.top_wildcard).count();
+                        }
+                    });
+                }
+            }
+        });
+        assert_eq!(wild, 1);
+    }
+
+    #[test]
+    fn casts_methods_and_operators() {
+        let src = "fn f(n: usize, xs: &[f64]) -> f64 { (n as f64) / xs.iter().sum::<f64>() }";
+        let ast = parse_src(src);
+        let (mut saw_cast, mut saw_div, mut saw_sum) = (false, false, false);
+        visit_fns(&ast.items, &mut |f, _, _| {
+            if let Some(b) = &f.body {
+                for e in &b.exprs {
+                    e.walk(&mut |x| match x {
+                        Expr::Cast { ty, .. } if ty == "f64" => saw_cast = true,
+                        Expr::Binary { op: BinOp::Div, .. } => saw_div = true,
+                        Expr::Method {
+                            name, turbofish, ..
+                        } if name == "sum" => {
+                            saw_sum = turbofish.contains(&"f64".to_string());
+                        }
+                        _ => {}
+                    });
+                }
+            }
+        });
+        assert!(saw_cast && saw_div && saw_sum);
+    }
+
+    #[test]
+    fn float_equality_is_visible() {
+        let src = "fn f(x: f64) -> bool { x == 0.3 }";
+        let ast = parse_src(src);
+        let mut eq_rhs_num = String::new();
+        visit_fns(&ast.items, &mut |f, _, _| {
+            if let Some(b) = &f.body {
+                for e in &b.exprs {
+                    e.walk(&mut |x| {
+                        if let Expr::Binary {
+                            op: BinOp::Eq, rhs, ..
+                        } = x
+                        {
+                            if let Expr::Number { text, .. } = rhs.as_ref() {
+                                eq_rhs_num = text.clone();
+                            }
+                        }
+                    });
+                }
+            }
+        });
+        assert_eq!(eq_rhs_num, "0.3");
+    }
+
+    #[test]
+    fn closures_macros_and_struct_literals() {
+        let src = r#"
+            fn f(mut v: Vec<f64>) {
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let p = Point { x: 1.0, y: g(2) };
+                assert_eq!(v.len(), 3);
+            }
+        "#;
+        let ast = parse_src(src);
+        let (mut sort_closure, mut macro_args, mut struct_call) = (false, 0usize, false);
+        visit_fns(&ast.items, &mut |f, _, _| {
+            if let Some(b) = &f.body {
+                for e in &b.exprs {
+                    e.walk(&mut |x| match x {
+                        Expr::Method { name, args, .. } if name == "sort_by" => {
+                            sort_closure = matches!(args.first(), Some(Expr::Closure { .. }));
+                        }
+                        Expr::Macro { name, args, .. } if name == "assert_eq" => {
+                            macro_args = args.len();
+                        }
+                        Expr::Call { callee, .. } => {
+                            if let Expr::Path { segs, .. } = callee.as_ref() {
+                                if segs == &["g".to_string()] {
+                                    struct_call = true;
+                                }
+                            }
+                        }
+                        _ => {}
+                    });
+                }
+            }
+        });
+        assert!(sort_closure, "sort_by closure must parse");
+        assert_eq!(macro_args, 2, "assert_eq! args must split on commas");
+        assert!(struct_call, "calls inside struct literals must be visible");
+    }
+
+    #[test]
+    fn control_flow_keeps_subexpressions() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                if let Some(v) = x { g(v) } else { h() }
+            }
+            fn l(n: u32) { for i in 0..n { body(i); } while n > 0 { tick(); } }
+        "#;
+        let ast = parse_src(src);
+        let mut calls = Vec::new();
+        visit_fns(&ast.items, &mut |f, _, _| {
+            if let Some(b) = &f.body {
+                for e in &b.exprs {
+                    e.walk(&mut |x| {
+                        if let Expr::Call { callee, .. } = x {
+                            if let Expr::Path { segs, .. } = callee.as_ref() {
+                                if let Some(s) = segs.last() {
+                                    calls.push(s.clone());
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        });
+        for expected in ["g", "h", "body", "tick"] {
+            assert!(
+                calls.iter().any(|c| c == expected),
+                "missing call {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_always_terminates_on_garbage() {
+        let garbage = "fn f( { ) } match [ => ; :: < > ! #";
+        let _ = parse_src(garbage); // must not hang or panic
+        let weird = "impl { fn } enum { , , } trait X fn";
+        let _ = parse_src(weird);
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let mut src = String::from("fn f() { ");
+        for _ in 0..400 {
+            src.push_str("g(");
+        }
+        src.push('1');
+        for _ in 0..400 {
+            src.push(')');
+        }
+        src.push_str(" ; }");
+        let _ = parse_src(&src); // must not overflow the stack
+    }
+}

@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use adapt_telemetry::json::Value;
 
 use crate::config::Allowlist;
-use crate::rules::{id, RawFinding};
+use crate::rules::{id, RawFinding, ALL_RULES};
 
 /// One finding after allowlist matching.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -33,12 +33,21 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Advisory per-crate panic-surface counts from the call graph:
+    /// `(explicit panics, indexing sites, div-by-expr sites)`. These are
+    /// trend data for the JSON artifact, not violations.
+    pub panic_surface: BTreeMap<String, (u64, u64, u64)>,
 }
 
 impl LintReport {
     /// Builds the report: matches raw findings against the allowlist and
     /// appends one `allowlist/stale` violation per unused entry.
-    pub fn build(raw: Vec<RawFinding>, allowlist: &Allowlist, files_scanned: usize) -> Self {
+    pub fn build(
+        raw: Vec<RawFinding>,
+        allowlist: &Allowlist,
+        files_scanned: usize,
+        panic_surface: BTreeMap<String, (u64, u64, u64)>,
+    ) -> Self {
         let mut used: BTreeSet<(String, String)> = BTreeSet::new();
         let mut findings: Vec<Finding> = raw
             .into_iter()
@@ -72,6 +81,7 @@ impl LintReport {
         LintReport {
             findings,
             files_scanned,
+            panic_surface,
         }
     }
 
@@ -114,6 +124,23 @@ impl LintReport {
             rules.insert(rule, counts);
         }
 
+        let mut surface = Value::object();
+        for (crate_name, (panics, index_sites, div_by_expr)) in &self.panic_surface {
+            let mut counts = Value::object();
+            counts
+                .insert("div_by_expr_sites", *div_by_expr)
+                .insert("explicit_panics", *panics)
+                .insert("index_sites", *index_sites);
+            surface.insert(crate_name, counts);
+        }
+
+        let rules_enabled = Value::Array(
+            ALL_RULES
+                .iter()
+                .map(|r| Value::Str((*r).to_string()))
+                .collect(),
+        );
+
         let mut summary = Value::object();
         summary
             .insert(
@@ -125,8 +152,10 @@ impl LintReport {
 
         let mut root = Value::object();
         root.insert("findings", Value::Array(items))
+            .insert("panic_surface", surface)
             .insert("rules", rules)
-            .insert("schema_version", 1u64)
+            .insert("rules_enabled", rules_enabled)
+            .insert("schema_version", 2u64)
             .insert("summary", summary)
             .insert("tool", "adapt-lint");
         root
@@ -162,6 +191,7 @@ mod tests {
             vec![raw(id::LOSSY_CAST, "crates/core/src/x.rs", 3)],
             &allow,
             1,
+            BTreeMap::new(),
         );
         assert_eq!(report.violation_count(), 0);
         assert_eq!(report.findings.len(), 1);
@@ -174,20 +204,23 @@ mod tests {
             "[[allow]]\nrule = \"numeric/lossy-cast\"\npath = \"crates/core/src/gone.rs\"\nreason = \"stale\"\n",
         )
         .unwrap();
-        let report = LintReport::build(Vec::new(), &allow, 0);
+        let report = LintReport::build(Vec::new(), &allow, 0, BTreeMap::new());
         assert_eq!(report.violation_count(), 1);
         assert_eq!(report.findings[0].rule, id::STALE_ALLOW);
     }
 
     #[test]
     fn json_is_deterministic_and_sorted() {
+        let mut surface = BTreeMap::new();
+        surface.insert("sim".to_string(), (0u64, 166u64, 3u64));
         let report = LintReport::build(
             vec![
-                raw(id::NO_PANIC, "crates/sim/src/b.rs", 9),
-                raw(id::NO_PANIC, "crates/sim/src/a.rs", 2),
+                raw(id::PANIC_PATH, "crates/sim/src/b.rs", 9),
+                raw(id::PANIC_PATH, "crates/sim/src/a.rs", 2),
             ],
             &Allowlist::default(),
             2,
+            surface,
         );
         let a = report.to_json_pretty();
         let b = report.to_json_pretty();
@@ -195,5 +228,16 @@ mod tests {
         let first = a.find("crates/sim/src/a.rs").unwrap();
         let second = a.find("crates/sim/src/b.rs").unwrap();
         assert!(first < second, "findings must be path-sorted");
+        assert!(a.contains("panic_surface"));
+        assert!(a.contains("index_sites"));
+    }
+
+    #[test]
+    fn artifact_lists_every_enabled_rule() {
+        let report = LintReport::build(Vec::new(), &Allowlist::default(), 0, BTreeMap::new());
+        let json = report.to_json_pretty();
+        for rule in ALL_RULES {
+            assert!(json.contains(rule), "rules_enabled must list {rule}");
+        }
     }
 }

@@ -27,6 +27,7 @@ fn rules_hit(crate_name: &str, is_crate_root: bool, source: &str) -> Vec<String>
         },
         source,
     )
+    .findings
     .into_iter()
     .map(|f| f.rule.to_string())
     .collect()
@@ -76,26 +77,72 @@ fn unordered_map_fixtures() {
 }
 
 #[test]
-fn no_panic_fixtures() {
-    let bad = rules_hit("dfs", false, include_str!("../fixtures/no_panic_bad.rs"));
+fn panic_path_fixtures() {
+    let bad = rules_hit("dfs", false, include_str!("../fixtures/panic_path_bad.rs"));
     // `.expect(` and `panic!` are two distinct findings.
-    assert_eq!(count(&bad, id::NO_PANIC), 2, "{bad:?}");
+    assert_eq!(count(&bad, id::PANIC_PATH), 2, "{bad:?}");
     // The good fixture keeps an `unwrap()` inside `#[cfg(test)]`, which
     // the test-region mask must exempt.
-    let good = rules_hit("dfs", false, include_str!("../fixtures/no_panic_good.rs"));
-    assert_eq!(count(&good, id::NO_PANIC), 0, "{good:?}");
+    let good = rules_hit("dfs", false, include_str!("../fixtures/panic_path_good.rs"));
+    assert_eq!(count(&good, id::PANIC_PATH), 0, "{good:?}");
 }
 
 #[test]
-fn no_panic_scope_excludes_non_substrate_crates() {
+fn panic_path_scope_excludes_non_substrate_crates() {
     // The same bad fixture in `experiments` (out of robustness scope)
     // must not fire.
     let hits = rules_hit(
         "experiments",
         false,
-        include_str!("../fixtures/no_panic_bad.rs"),
+        include_str!("../fixtures/panic_path_bad.rs"),
     );
-    assert_eq!(count(&hits, id::NO_PANIC), 0, "{hits:?}");
+    assert_eq!(count(&hits, id::PANIC_PATH), 0, "{hits:?}");
+}
+
+#[test]
+fn float_cmp_fixtures() {
+    let bad = rules_hit("sim", false, include_str!("../fixtures/float_cmp_bad.rs"));
+    // Inexact literal, arithmetic, cast, and partial_cmp().unwrap().
+    assert_eq!(count(&bad, id::FLOAT_CMP), 4, "{bad:?}");
+    let good = rules_hit("sim", false, include_str!("../fixtures/float_cmp_good.rs"));
+    assert_eq!(count(&good, id::FLOAT_CMP), 0, "{good:?}");
+}
+
+#[test]
+fn float_sort_fixtures() {
+    let bad = rules_hit("sim", false, include_str!("../fixtures/float_sort_bad.rs"));
+    assert_eq!(count(&bad, id::FLOAT_SORT), 2, "{bad:?}");
+    let good = rules_hit("sim", false, include_str!("../fixtures/float_sort_good.rs"));
+    assert_eq!(count(&good, id::FLOAT_SORT), 0, "{good:?}");
+}
+
+#[test]
+fn float_accum_fixtures() {
+    let bad = rules_hit("sim", false, include_str!("../fixtures/float_accum_bad.rs"));
+    assert_eq!(count(&bad, id::FLOAT_ACCUM), 2, "{bad:?}");
+    let good = rules_hit(
+        "sim",
+        false,
+        include_str!("../fixtures/float_accum_good.rs"),
+    );
+    assert_eq!(count(&good, id::FLOAT_ACCUM), 0, "{good:?}");
+}
+
+#[test]
+fn wildcard_arm_fixtures() {
+    let bad = rules_hit(
+        "sim",
+        false,
+        include_str!("../fixtures/wildcard_arm_bad.rs"),
+    );
+    // One `_` arm and one binding catch-all.
+    assert_eq!(count(&bad, id::WILDCARD_ARM), 2, "{bad:?}");
+    let good = rules_hit(
+        "sim",
+        false,
+        include_str!("../fixtures/wildcard_arm_good.rs"),
+    );
+    assert_eq!(count(&good, id::WILDCARD_ARM), 0, "{good:?}");
 }
 
 #[test]
@@ -151,7 +198,7 @@ fn stale_allowlist_entry_is_a_violation() {
          reason = \"left behind after a refactor\"\n",
     )
     .expect("fixture allowlist parses");
-    let report = LintReport::build(Vec::new(), &allow, 0);
+    let report = LintReport::build(Vec::new(), &allow, 0, Default::default());
     assert_eq!(report.violation_count(), 1);
     let stale = &report.findings[0];
     assert_eq!(stale.rule, id::STALE_ALLOW);
@@ -179,14 +226,22 @@ fn workspace_is_lint_clean() {
     );
     for f in &report.findings {
         assert!(
-            !f.rule.starts_with("determinism/") && !f.rule.starts_with("robustness/"),
-            "determinism/robustness must not be allowlisted: {}:{} [{}]",
+            !f.rule.starts_with("determinism/")
+                && !f.rule.starts_with("robustness/")
+                && !f.rule.starts_with("exhaustiveness/"),
+            "determinism/robustness/exhaustiveness must not be allowlisted: {}:{} [{}]",
             f.path,
             f.line,
             f.rule
         );
     }
     assert!(report.files_scanned > 50, "workspace walk looks truncated");
+    // The call-graph surface covers the robustness crates.
+    assert!(
+        report.panic_surface.contains_key("sim"),
+        "panic_surface missing sim: {:?}",
+        report.panic_surface.keys().collect::<Vec<_>>()
+    );
 }
 
 /// The findings artifact is byte-stable across repeated runs — the same

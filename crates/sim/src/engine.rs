@@ -1149,12 +1149,13 @@ impl MapPhaseSim {
                 self.telemetry.kills_interruption.incr();
             }
             // A killed fetch has no compute to lose; both bucket to misc.
-            KillReason::DuplicateLost | KillReason::SourceLost => {
+            KillReason::DuplicateLost => {
                 self.dup_compute += compute_lost;
-                match reason {
-                    KillReason::DuplicateLost => self.telemetry.speculative_losses.incr(),
-                    _ => self.telemetry.kills_source_lost.incr(),
-                }
+                self.telemetry.speculative_losses.incr();
+            }
+            KillReason::SourceLost => {
+                self.dup_compute += compute_lost;
+                self.telemetry.kills_source_lost.incr();
             }
         }
         if !attempt.local {

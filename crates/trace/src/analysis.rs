@@ -361,7 +361,21 @@ fn attempt_span(event: &TraceEvent) -> Option<AttemptSpan> {
             end,
             outcome: "cut",
         }),
-        _ => None,
+        // Non-attempt-terminal records carry no attempt span.
+        TraceEvent::BlockPlaced { .. }
+        | TraceEvent::BlockRebalanced { .. }
+        | TraceEvent::AttemptStarted { .. }
+        | TraceEvent::SpeculativeLaunched { .. }
+        | TraceEvent::TransferStarted { .. }
+        | TraceEvent::TransferDone { .. }
+        | TraceEvent::TransferAborted { .. }
+        | TraceEvent::NodeDown { .. }
+        | TraceEvent::NodeUp { .. }
+        | TraceEvent::TaskRequeued { .. }
+        | TraceEvent::RecoverySpan { .. }
+        | TraceEvent::JobSubmitted { .. }
+        | TraceEvent::JobStarted { .. }
+        | TraceEvent::JobCompleted { .. } => None,
     }
 }
 
@@ -558,17 +572,20 @@ fn attempt_source(trace: &Trace, span: &AttemptSpan) -> Option<u32> {
     if span.local {
         return None;
     }
-    trace.events.iter().find_map(|e| match *e {
-        TraceEvent::TransferStarted {
+    trace.events.iter().find_map(|e| {
+        if let TraceEvent::TransferStarted {
             source,
             dest,
             task,
             start,
             ..
-        } if dest == span.node && task == span.task && (start - span.start).abs() <= EPS => {
-            Some(source)
+        } = *e
+        {
+            if dest == span.node && task == span.task && (start - span.start).abs() <= EPS {
+                return Some(source);
+            }
         }
-        _ => None,
+        None
     })
 }
 
@@ -613,17 +630,20 @@ fn push_attempt_hops(trace: &Trace, hops: &mut Vec<PathHop>, span: &AttemptSpan)
             detail: describe("compute"),
         });
     }
-    let source = trace.events.iter().find_map(|e| match *e {
-        TraceEvent::TransferStarted {
+    let source = trace.events.iter().find_map(|e| {
+        if let TraceEvent::TransferStarted {
             source,
             dest,
             task,
             start,
             ..
-        } if dest == span.node && task == span.task && (start - span.start).abs() <= EPS => {
-            Some(source)
+        } = *e
+        {
+            if dest == span.node && task == span.task && (start - span.start).abs() <= EPS {
+                return Some(source);
+            }
         }
-        _ => None,
+        None
     });
     let from = match source {
         Some(s) => format!(" from node {s}"),
@@ -742,7 +762,23 @@ pub fn gantt(trace: &Trace) -> Vec<NodeLane> {
                     },
                 );
             }
-            _ => {}
+            // Attempt-terminal records were consumed by attempt_span
+            // above; the rest do not produce Gantt segments.
+            TraceEvent::BlockPlaced { .. }
+            | TraceEvent::BlockRebalanced { .. }
+            | TraceEvent::AttemptStarted { .. }
+            | TraceEvent::SpeculativeLaunched { .. }
+            | TraceEvent::TransferStarted { .. }
+            | TraceEvent::TransferDone { .. }
+            | TraceEvent::TransferAborted { .. }
+            | TraceEvent::AttemptWon { .. }
+            | TraceEvent::AttemptKilled { .. }
+            | TraceEvent::AttemptCut { .. }
+            | TraceEvent::TaskRequeued { .. }
+            | TraceEvent::RecoverySpan { .. }
+            | TraceEvent::JobSubmitted { .. }
+            | TraceEvent::JobStarted { .. }
+            | TraceEvent::JobCompleted { .. } => {}
         }
     }
     for i in 0..open_down.len() {

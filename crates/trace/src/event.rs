@@ -348,7 +348,14 @@ impl TraceEvent {
             | TraceEvent::RecoverySpan { start, .. }
             | TraceEvent::JobCompleted { start, .. } => micros(start),
             TraceEvent::NodeUp { since, .. } => micros(since),
-            _ => micros(self.time()),
+            // Instant records: the span start is the timestamp itself.
+            TraceEvent::BlockPlaced { .. }
+            | TraceEvent::BlockRebalanced { .. }
+            | TraceEvent::SpeculativeLaunched { .. }
+            | TraceEvent::NodeDown { .. }
+            | TraceEvent::TaskRequeued { .. }
+            | TraceEvent::JobSubmitted { .. }
+            | TraceEvent::JobStarted { .. } => micros(self.time()),
         }
     }
 

@@ -727,12 +727,13 @@ impl ReferenceSim {
                 self.rework += compute_lost;
                 self.telemetry.kills_interruption.incr();
             }
-            KillReason::DuplicateLost | KillReason::SourceLost => {
+            KillReason::DuplicateLost => {
                 self.dup_compute += compute_lost;
-                match reason {
-                    KillReason::DuplicateLost => self.telemetry.speculative_losses.incr(),
-                    _ => self.telemetry.kills_source_lost.incr(),
-                }
+                self.telemetry.speculative_losses.incr();
+            }
+            KillReason::SourceLost => {
+                self.dup_compute += compute_lost;
+                self.telemetry.kills_source_lost.incr();
             }
         }
         if !attempt.local {
