@@ -12,6 +12,7 @@ use std::sync::Arc;
 use adapt_availability::AvailabilityError;
 use adapt_dfs::placement::ClusterView;
 use adapt_dfs::NodeId;
+use adapt_metrics::MetricsRegistry;
 use adapt_telemetry::Counter;
 
 /// Per-node expected task times and normalized placement rates.
@@ -52,6 +53,37 @@ impl NodeRates {
     /// Whether at least one node has a positive rate.
     pub fn any_usable(&self) -> bool {
         self.rates.iter().any(|&r| r > 0.0)
+    }
+
+    /// Records this rate vector's shape as `predictor.*` gauges: the
+    /// count of usable nodes, the normalization constant
+    /// `Φ = Σ 1/E[Tᵢ]`, and the min/max placement rate among usable
+    /// nodes. Call at placement time, before the registry's next scrape.
+    pub fn record_gauges(&self, registry: &mut MetricsRegistry) {
+        let usable = self.rates.iter().filter(|&&r| r > 0.0).count();
+        let phi: f64 = self
+            .expected
+            .iter()
+            .filter(|t| t.is_finite() && **t > 0.0)
+            .map(|t| 1.0 / *t)
+            .sum();
+        registry.set_gauge(
+            "predictor.usable_nodes",
+            u64::try_from(usable).unwrap_or(u64::MAX),
+        );
+        registry.set_gauge("predictor.phi", phi);
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for &r in &self.rates {
+            if r > 0.0 {
+                min = min.min(r);
+                max = max.max(r);
+            }
+        }
+        if usable > 0 {
+            registry.set_gauge("predictor.rate_min", min);
+            registry.set_gauge("predictor.rate_max", max);
+        }
     }
 }
 
@@ -123,6 +155,14 @@ impl PerformancePredictor {
             .unwrap_or(f64::INFINITY)
     }
 
+    /// Records the predictor's own state as `predictor.*` gauges: the
+    /// failure-free task length `γ` and the cumulative equation-(5)
+    /// evaluation count (shared across clones).
+    pub fn record_gauges(&self, registry: &mut MetricsRegistry) {
+        registry.set_gauge("predictor.gamma", self.gamma);
+        registry.set_gauge("predictor.evaluations", self.evaluations());
+    }
+
     /// Computes `E[Tᵢ]` and normalized rates for every node in the view.
     pub fn rates(&self, cluster: &ClusterView) -> NodeRates {
         let expected: Vec<f64> = cluster
@@ -155,6 +195,7 @@ mod tests {
     use super::*;
     use adapt_dfs::placement::NodeView;
     use adapt_dfs::NodeAvailability;
+    use proptest::prelude::*;
 
     fn view(avails: Vec<(NodeAvailability, bool)>) -> ClusterView {
         ClusterView::new(
@@ -267,6 +308,121 @@ mod tests {
         let r = p.rates(&v);
         for &rate in r.rates() {
             assert!((rate - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn record_gauges_exports_predictor_state() {
+        use adapt_metrics::SampleValue;
+        let p = PerformancePredictor::new(12.0).unwrap();
+        let v = view(vec![
+            (NodeAvailability::reliable(), true),
+            (NodeAvailability::from_mtbi(10.0, 4.0).unwrap(), true),
+            (NodeAvailability::reliable(), false),
+        ]);
+        let r = p.rates(&v);
+        let mut registry = MetricsRegistry::new(1_000_000, 64);
+        r.record_gauges(&mut registry);
+        p.record_gauges(&mut registry);
+        registry.force_scrape(0);
+        let last = |name: &str| registry.series()[name].last().unwrap().value;
+        assert_eq!(last("predictor.usable_nodes"), SampleValue::U64(2));
+        assert_eq!(last("predictor.gamma"), SampleValue::F64(12.0));
+        // Three E[T] evaluations happened through `rates`.
+        assert_eq!(last("predictor.evaluations"), SampleValue::U64(3));
+        let phi = match last("predictor.phi") {
+            SampleValue::F64(x) => x,
+            SampleValue::U64(_) => panic!("phi must be a float gauge"),
+        };
+        let expected_phi: f64 = r
+            .expected_times()
+            .iter()
+            .filter(|t| t.is_finite())
+            .map(|t| 1.0 / t)
+            .sum();
+        assert!((phi - expected_phi).abs() < 1e-12);
+        let min = match last("predictor.rate_min") {
+            SampleValue::F64(x) => x,
+            SampleValue::U64(_) => panic!("rate_min must be a float gauge"),
+        };
+        let max = match last("predictor.rate_max") {
+            SampleValue::F64(x) => x,
+            SampleValue::U64(_) => panic!("rate_max must be a float gauge"),
+        };
+        assert!(min <= max);
+        assert!((max - r.rate(NodeId(0)).unwrap()).abs() < 1e-12);
+        assert!((min - r.rate(NodeId(1)).unwrap()).abs() < 1e-12);
+    }
+
+    proptest! {
+        // Paper equation (5): more observed uptime (a larger mean time
+        // between interruptions) never makes a node look slower.
+        #[test]
+        fn expected_time_is_monotone_in_observed_uptime(
+            gamma in 1.0f64..100.0,
+            mtbi in 5.0f64..500.0,
+            bump in 1.0f64..500.0,
+            mu in 0.5f64..4.0,
+        ) {
+            let p = PerformancePredictor::new(gamma).unwrap();
+            let worse = NodeAvailability::from_mtbi(mtbi, mu).unwrap();
+            let better = NodeAvailability::from_mtbi(mtbi + bump, mu).unwrap();
+            let t_worse = p.expected_time(worse, true);
+            let t_better = p.expected_time(better, true);
+            // mu/mtbi <= 4/5 < 1 keeps both nodes stable, hence finite.
+            prop_assert!(t_worse.is_finite() && t_better.is_finite());
+            prop_assert!(t_better <= t_worse + 1e-9 * t_worse.abs());
+            // And never faster than the failure-free length itself.
+            prop_assert!(t_better >= gamma - 1e-9 * gamma);
+        }
+
+        // Longer recovery after an interruption never makes a node look
+        // faster.
+        #[test]
+        fn expected_time_is_monotone_in_recovery_time(
+            gamma in 1.0f64..100.0,
+            mtbi in 10.0f64..500.0,
+            mu in 0.5f64..4.0,
+            bump in 0.1f64..4.0,
+        ) {
+            let p = PerformancePredictor::new(gamma).unwrap();
+            let quick = NodeAvailability::from_mtbi(mtbi, mu).unwrap();
+            let slow = NodeAvailability::from_mtbi(mtbi, mu + bump).unwrap();
+            let t_quick = p.expected_time(quick, true);
+            let t_slow = p.expected_time(slow, true);
+            prop_assert!(t_quick.is_finite() && t_slow.is_finite());
+            prop_assert!(t_slow >= t_quick - 1e-9 * t_quick.abs());
+        }
+
+        // Seed purity: the predictor consumes no randomness, so the same
+        // cluster view yields bit-identical rates every time.
+        #[test]
+        fn rates_are_a_pure_function_of_the_view(
+            gamma in 1.0f64..50.0,
+            params in prop::collection::vec(
+                (5.0f64..500.0, 0.5f64..4.0, 0u32..2),
+                1..16,
+            ),
+        ) {
+            let p = PerformancePredictor::new(gamma).unwrap();
+            let v = view(
+                params
+                    .iter()
+                    .map(|&(mtbi, mu, alive)| {
+                        (NodeAvailability::from_mtbi(mtbi, mu).unwrap(), alive == 1)
+                    })
+                    .collect(),
+            );
+            let a = p.rates(&v);
+            let b = p.rates(&v);
+            prop_assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                prop_assert_eq!(a.rates()[i].to_bits(), b.rates()[i].to_bits());
+                prop_assert_eq!(
+                    a.expected_times()[i].to_bits(),
+                    b.expected_times()[i].to_bits()
+                );
+            }
         }
     }
 }

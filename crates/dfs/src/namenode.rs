@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
+use adapt_metrics::MetricsHub;
 use adapt_trace::{TraceEvent, TraceRecorder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -125,6 +126,7 @@ pub struct NameNode {
     next_block: u64,
     telemetry: NameNodeTelemetry,
     trace: Option<TraceRecorder>,
+    metrics: Option<MetricsHub>,
 }
 
 impl NameNode {
@@ -146,6 +148,7 @@ impl NameNode {
             next_block: 0,
             telemetry: NameNodeTelemetry::default(),
             trace: None,
+            metrics: None,
         }
     }
 
@@ -160,6 +163,41 @@ impl NameNode {
     /// Detaches and returns the trace recorder, if one was attached.
     pub fn take_trace(&mut self) -> Option<TraceRecorder> {
         self.trace.take()
+    }
+
+    /// Attaches a metrics hub: placement, rebalance, and replica
+    /// maintenance counters are recorded into it from now on. Hand it
+    /// back with [`take_metrics`](NameNode::take_metrics) so the
+    /// simulation harness can continue the same scrape cadence.
+    pub fn attach_metrics(&mut self, hub: MetricsHub) {
+        self.metrics = Some(hub);
+    }
+
+    /// Detaches and returns the metrics hub, if one was attached.
+    pub fn take_metrics(&mut self) -> Option<MetricsHub> {
+        self.metrics.take()
+    }
+
+    /// Samples the replication state (block/replica totals, alive nodes,
+    /// under-replicated blocks) into the attached metrics hub at sim time
+    /// `t_us`, forcing a scrape so the sample lands even off-cadence.
+    ///
+    /// A no-op when no hub is attached.
+    pub fn scrape_replication_state(&mut self, t_us: u64) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let blocks = self.blocks.len() as u64;
+        let replicas = self.total_stored() as u64;
+        let alive = self.alive_count() as u64;
+        let under = crate::replication::under_replicated(self).len() as u64;
+        if let Some(hub) = self.metrics.as_mut() {
+            hub.registry.set_gauge("dfs.blocks", blocks);
+            hub.registry.set_gauge("dfs.replicas", replicas);
+            hub.registry.set_gauge("dfs.alive_nodes", alive);
+            hub.registry.set_gauge("dfs.under_replicated", under);
+            hub.registry.force_scrape(t_us);
+        }
     }
 
     /// The NameNode's placement counters (live).
@@ -454,6 +492,14 @@ impl NameNode {
         self.telemetry
             .session_max_per_node
             .record(session.iter().copied().max().unwrap_or(0) as u64);
+        if let Some(hub) = self.metrics.as_mut() {
+            hub.registry.incr("dfs.files_created", 1);
+            hub.registry.incr("dfs.blocks_placed", num_blocks as u64);
+            hub.registry
+                .incr("dfs.replicas_placed", (num_blocks * replication) as u64);
+            hub.profiler
+                .add_placements((num_blocks * replication) as u64);
+        }
         let file_id = FileId(self.next_file);
         self.next_file += 1;
         let mut block_ids = Vec::with_capacity(num_blocks);
@@ -618,6 +664,10 @@ impl NameNode {
                 to: to.0,
             });
         }
+        if let Some(hub) = self.metrics.as_mut() {
+            hub.registry.incr("dfs.rebalance_moves", 1);
+            hub.profiler.add_placements(1);
+        }
         Ok(())
     }
 
@@ -655,6 +705,10 @@ impl NameNode {
         }
         meta.replicas.push(node);
         self.nodes[node.0 as usize].stored.insert(block);
+        if let Some(hub) = self.metrics.as_mut() {
+            hub.registry.incr("dfs.replicas_rereplicated", 1);
+            hub.profiler.add_placements(1);
+        }
         Ok(())
     }
 
@@ -688,6 +742,9 @@ impl NameNode {
         }
         meta.replicas.remove(pos);
         self.nodes[node.0 as usize].stored.remove(&block);
+        if let Some(hub) = self.metrics.as_mut() {
+            hub.registry.incr("dfs.replicas_trimmed", 1);
+        }
         Ok(())
     }
 
@@ -839,6 +896,48 @@ mod tests {
                 to: to.0,
             })
         );
+    }
+
+    #[test]
+    fn metrics_hub_counts_placements_and_scrapes_replication_state() {
+        use adapt_metrics::SampleValue;
+        let mut nn = reliable_cluster(4);
+        nn.attach_metrics(MetricsHub::new(1_000_000));
+        let file = create(&mut nn, 6, 2, Threshold::None, 9);
+        let block = nn.file(file).unwrap().blocks()[0];
+        let from = nn.replicas(block).unwrap()[0];
+        let to = (0..4)
+            .map(NodeId)
+            .find(|n| !nn.replicas(block).unwrap().contains(n))
+            .unwrap();
+        nn.move_replica(block, from, to).unwrap();
+        nn.mark_down(NodeId(0)).unwrap();
+        // With target 2 and only node 0 down, a block is under-replicated
+        // exactly when one of its replicas sits on node 0.
+        let expected_under = nn
+            .file(file)
+            .unwrap()
+            .blocks()
+            .iter()
+            .filter(|b| nn.replicas(**b).unwrap().contains(&NodeId(0)))
+            .count() as u64;
+        nn.scrape_replication_state(0);
+        let hub = nn.take_metrics().unwrap();
+        assert!(nn.take_metrics().is_none());
+        let last = |name: &str| match hub.registry.series()[name].last().unwrap().value {
+            SampleValue::U64(v) => v,
+            SampleValue::F64(_) => panic!("expected integer sample for {name}"),
+        };
+        assert_eq!(last("dfs.files_created"), 1);
+        assert_eq!(last("dfs.blocks_placed"), 6);
+        assert_eq!(last("dfs.replicas_placed"), 12);
+        assert_eq!(last("dfs.rebalance_moves"), 1);
+        assert_eq!(last("dfs.blocks"), 6);
+        assert_eq!(last("dfs.replicas"), 12);
+        assert_eq!(last("dfs.alive_nodes"), 3);
+        assert_eq!(last("dfs.under_replicated"), expected_under);
+        // Placement work: 12 initial replicas + 1 rebalance move.
+        assert_eq!(hub.profiler.to_spans()[0].counts.placements, 13);
     }
 
     #[test]

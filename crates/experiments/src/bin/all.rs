@@ -111,4 +111,15 @@ fn main() {
         let seed = opts.seed.unwrap_or(2012);
         adapt_experiments::run_report::write_probe_trace("all", path, nodes, seed);
     }
+    if let Some(path) = &opts.metrics_out {
+        let nodes = opts.nodes.unwrap_or(256);
+        let seed = opts.seed.unwrap_or(2012);
+        adapt_experiments::run_report::write_probe_metrics(
+            "all",
+            path,
+            nodes,
+            seed,
+            opts.metrics_interval,
+        );
+    }
 }

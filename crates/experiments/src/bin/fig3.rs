@@ -2,7 +2,8 @@
 //! non-dedicated cluster.
 //!
 //! Usage: `fig3 [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv]
-//! [--report-json PATH]`
+//! [--report-json PATH] [--trace-out PATH] [--metrics-out PATH]
+//! [--metrics-interval SECS]`
 //!
 //! * `a` — sweep the interrupted-node ratio {¼, ½, ¾};
 //! * `b` — sweep the bandwidth {4, 8, 16, 32 Mb/s};
@@ -89,5 +90,15 @@ fn main() {
     if let Some(path) = &opts.trace_out {
         let base = base_config(&opts);
         adapt_experiments::run_report::write_probe_trace("fig3", path, base.nodes, base.seed);
+    }
+    if let Some(path) = &opts.metrics_out {
+        let base = base_config(&opts);
+        adapt_experiments::run_report::write_probe_metrics(
+            "fig3",
+            path,
+            base.nodes,
+            base.seed,
+            opts.metrics_interval,
+        );
     }
 }

@@ -92,4 +92,14 @@ fn main() {
         let base = base_config(&opts);
         adapt_experiments::run_report::write_probe_trace("fig5", path, base.nodes, base.seed);
     }
+    if let Some(path) = &opts.metrics_out {
+        let base = base_config(&opts);
+        adapt_experiments::run_report::write_probe_metrics(
+            "fig5",
+            path,
+            base.nodes,
+            base.seed,
+            opts.metrics_interval,
+        );
+    }
 }

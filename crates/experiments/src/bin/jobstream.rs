@@ -2,7 +2,8 @@
 //! percentiles versus offered load, per placement policy (DESIGN.md §14).
 //!
 //! Usage: `jobstream [fifo|fair|capacity] [--nodes N] [--runs N]
-//! [--seed N] [--csv] [--report-json PATH] [--paper]`
+//! [--seed N] [--csv] [--report-json PATH] [--metrics-out PATH]
+//! [--metrics-interval SECS] [--paper]`
 //!
 //! The positional selects the JobTracker's scheduling policy (default
 //! `fair`); `--runs` is the number of jobs per stream. The sweep crosses
@@ -84,5 +85,27 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // The metrics cell: the saturated load level under ADAPT placement,
+    // instrumented with the declared p99-sojourn SLO.
+    if let Some(path) = &opts.metrics_out {
+        let interval_us = adapt_experiments::run_report::metrics_interval_us(
+            opts.metrics_interval
+                .unwrap_or(adapt_experiments::run_report::DEFAULT_METRICS_INTERVAL_SECS),
+        );
+        let hub = match adapt_experiments::jobstream::run_jobstream_metrics(&config, interval_us) {
+            Ok(hub) => hub,
+            Err(e) => {
+                eprintln!("jobstream: metrics cell failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let doc = hub.to_jsonl("jobstream", config.nodes as u64, config.seed);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("jobstream: cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
     }
 }

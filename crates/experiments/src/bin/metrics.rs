@@ -1,0 +1,215 @@
+//! Explores an `adapt-metrics/1` document (the JSONL written by
+//! `--metrics-out`).
+//!
+//! Usage: `metrics <summary|dash|slo|flamegraph|chrome> <metrics.jsonl>
+//! [unit]`
+//!
+//! * `summary` — run identity, per-series statistics, and work-span
+//!   totals as pretty-printed JSON;
+//! * `dash` — an ASCII sparkline dashboard, one row per series;
+//! * `slo` — the declared service-level objective evaluated over its
+//!   series: violations, compliance, and error-budget burn rate,
+//!   overall and per tumbling window;
+//! * `flamegraph` — the work spans as collapsed stacks (`path count`
+//!   lines, pipe into inferno/speedscope) for a unit: `events`
+//!   (default), `heap_ops`, `placements`, or `sim_us`;
+//! * `chrome` — the spans as Chrome `trace_event` JSON on stdout (open
+//!   in `chrome://tracing` or Perfetto), same unit argument.
+//!
+//! Every view is a pure function of the metrics file: re-running a
+//! command on the same file prints identical bytes.
+
+use adapt_metrics::export::{parse_jsonl, MetricsDoc};
+use adapt_metrics::profile::{chrome_trace, collapsed};
+use adapt_metrics::registry::SampleValue;
+use adapt_metrics::slo::{evaluate, evaluate_windows};
+use adapt_metrics::WorkUnit;
+use adapt_telemetry::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: metrics <summary|dash|slo|flamegraph|chrome> <metrics.jsonl> \
+         [events|heap_ops|placements|sim_us]"
+    );
+    std::process::exit(2);
+}
+
+fn numeric(v: SampleValue) -> f64 {
+    match v {
+        SampleValue::U64(n) => n as f64,
+        SampleValue::F64(x) => x,
+    }
+}
+
+fn render_summary(doc: &MetricsDoc) {
+    let mut meta = Value::object();
+    meta.insert("interval_us", doc.meta.interval_us);
+    meta.insert("nodes", doc.meta.nodes);
+    meta.insert("seed", doc.meta.seed);
+    meta.insert("tool", doc.meta.tool.as_str());
+
+    let mut series = Value::object();
+    for (name, data) in &doc.series {
+        let mut s = Value::object();
+        s.insert("dropped", data.dropped);
+        s.insert("kind", data.kind.tag());
+        s.insert("samples", data.samples.len() as u64);
+        if let (Some(first), Some(last)) = (data.samples.first(), data.samples.last()) {
+            s.insert("first_t_us", first.t_us);
+            s.insert("last_t_us", last.t_us);
+            s.insert("last_v", last.value.to_value());
+        }
+        series.insert(name.as_str(), s);
+    }
+
+    let mut spans = Value::object();
+    let total = doc
+        .spans
+        .iter()
+        .fold(adapt_metrics::WorkCounts::default(), |mut acc, s| {
+            acc.merge(&s.counts);
+            acc
+        });
+    spans.insert("count", doc.spans.len() as u64);
+    spans.insert("events", total.events);
+    spans.insert("heap_ops", total.heap_ops);
+    spans.insert("placements", total.placements);
+    spans.insert("sim_us", total.sim_us);
+
+    let mut out = Value::object();
+    out.insert("meta", meta);
+    out.insert("series", series);
+    out.insert("spans", spans);
+    if let Some(slo) = &doc.slo {
+        let mut s = Value::object();
+        s.insert("objective_us", slo.objective_us);
+        s.insert("series", slo.series.as_str());
+        s.insert("target_milli", slo.target_milli as u64);
+        out.insert("slo", s);
+    }
+    println!("{}", out.to_json_pretty());
+}
+
+fn render_dash(doc: &MetricsDoc) {
+    const WIDTH: usize = 48;
+    const LEVELS: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+    println!(
+        "dash: {} series, scrape cadence {:.1} s ({})",
+        doc.series.len(),
+        doc.meta.interval_us as f64 / 1e6,
+        doc.meta.tool
+    );
+    for (name, data) in &doc.series {
+        let values: Vec<f64> = data.samples.iter().map(|s| numeric(s.value)).collect();
+        if values.is_empty() {
+            println!("  {name:<32} (no samples)");
+            continue;
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        // Bucket samples onto the fixed width; last write wins in a
+        // bucket, so the line always reflects the latest sample there.
+        let mut row = vec![' '; WIDTH.min(values.len().max(1))];
+        let cols = row.len();
+        for (i, &v) in values.iter().enumerate() {
+            let col = i * cols / values.len();
+            let level = (((v - lo) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+            row[col] = LEVELS[level.min(LEVELS.len() - 1)];
+        }
+        let line: String = row.into_iter().collect();
+        println!(
+            "  {name:<32} |{line:<WIDTH$}| {lo:.6e} .. {hi:.6e} ({} samples)",
+            values.len()
+        );
+    }
+}
+
+fn render_slo(doc: &MetricsDoc) {
+    let Some(slo) = &doc.slo else {
+        eprintln!("metrics: document declares no SLO (header lacks slo_series)");
+        std::process::exit(1);
+    };
+    let samples = doc.samples_u64(&slo.series);
+    if samples.is_empty() {
+        eprintln!(
+            "metrics: SLO series `{}` has no samples in this document",
+            slo.series
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "slo: {} of `{}` observations within {:.3} s (error budget {} per mille)",
+        slo.target_milli,
+        slo.series,
+        slo.objective_us as f64 / 1e6,
+        slo.budget_milli(),
+    );
+    let overall = evaluate(samples.iter().map(|&(_, v)| v), slo);
+    println!(
+        "  overall: {}/{} violations, burn rate {:.3} — {}",
+        overall.violations,
+        overall.total,
+        overall.burn_rate,
+        if overall.compliant {
+            "COMPLIANT"
+        } else {
+            "VIOLATED"
+        },
+    );
+    // Tumbling windows of six scrape intervals — the sliding-window span
+    // the registry uses for its derived percentile gauges.
+    let window_us = doc.meta.interval_us.saturating_mul(6).max(1);
+    for (start_us, report) in evaluate_windows(&samples, slo, window_us) {
+        println!(
+            "  window [{:>10.1} s .. {:>10.1} s): {}/{} violations, burn rate {:.3} — {}",
+            start_us as f64 / 1e6,
+            (start_us + window_us) as f64 / 1e6,
+            report.violations,
+            report.total,
+            report.burn_rate,
+            if report.compliant { "ok" } else { "burning" },
+        );
+    }
+}
+
+fn parse_unit(arg: Option<&str>) -> WorkUnit {
+    match arg {
+        None => WorkUnit::Events,
+        Some(tag) => match WorkUnit::from_tag(tag) {
+            Some(unit) => unit,
+            None => usage(),
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path, unit) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str(), None),
+        [cmd, path, unit] => (cmd.as_str(), path.as_str(), Some(unit.as_str())),
+        _ => usage(),
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match parse_jsonl(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match cmd {
+        "summary" => render_summary(&doc),
+        "dash" => render_dash(&doc),
+        "slo" => render_slo(&doc),
+        "flamegraph" => print!("{}", collapsed(&doc.spans, parse_unit(unit))),
+        "chrome" => println!("{}", chrome_trace(&doc.spans, parse_unit(unit)).to_json()),
+        _ => usage(),
+    }
+}

@@ -55,4 +55,13 @@ fn main() {
     if let Some(path) = &opts.trace_out {
         adapt_experiments::run_report::write_probe_trace("table1", path, hosts, seed);
     }
+    if let Some(path) = &opts.metrics_out {
+        adapt_experiments::run_report::write_probe_metrics(
+            "table1",
+            path,
+            hosts,
+            seed,
+            opts.metrics_interval,
+        );
+    }
 }

@@ -4,8 +4,11 @@
 //! `--seed N`, `--csv`, `--report-json PATH` (write a deterministic
 //! telemetry run report, see [`crate::run_report`]), `--trace-out PATH`
 //! (write the probe run's deterministic event trace as JSONL, explorable
-//! with the `trace` binary), plus a free-form positional (the sub-figure
-//! selector `a`/`b`/`c` where applicable).
+//! with the `trace` binary), `--metrics-out PATH` (write the probe run's
+//! scraped time series and work spans as `adapt-metrics/1` JSONL,
+//! explorable with the `metrics` binary), `--metrics-interval SECS`
+//! (scrape cadence in simulated seconds), plus a free-form positional
+//! (the sub-figure selector `a`/`b`/`c` where applicable).
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -24,6 +27,10 @@ pub struct Options {
     pub report_json: Option<String>,
     /// Write the probe run's event trace (JSONL) to this path.
     pub trace_out: Option<String>,
+    /// Write the probe run's metrics document (JSONL) to this path.
+    pub metrics_out: Option<String>,
+    /// Metrics scrape cadence in simulated seconds (default 10).
+    pub metrics_interval: Option<f64>,
     /// Positional arguments (e.g. the sub-figure selector).
     pub positional: Vec<String>,
 }
@@ -57,10 +64,24 @@ impl Options {
                         .ok_or_else(|| format!("flag `{arg}` needs a value"))?;
                     opts.trace_out = Some(path);
                 }
+                "--metrics-out" => {
+                    let path = args
+                        .next()
+                        .ok_or_else(|| format!("flag `{arg}` needs a value"))?;
+                    opts.metrics_out = Some(path);
+                }
+                "--metrics-interval" => {
+                    let secs: f64 = parse_value(&arg, args.next())?;
+                    if !(secs.is_finite() && secs > 0.0) {
+                        return Err(format!("flag `{arg}`: must be finite and > 0"));
+                    }
+                    opts.metrics_interval = Some(secs);
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv] \
-                         [--report-json PATH] [--trace-out PATH]"
+                         [--report-json PATH] [--trace-out PATH] [--metrics-out PATH] \
+                         [--metrics-interval SECS]"
                             .to_string(),
                     )
                 }
@@ -129,6 +150,17 @@ mod tests {
         assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
         assert!(parse(&[]).unwrap().trace_out.is_none());
         assert!(parse(&["--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        let o = parse(&["--metrics-out", "/tmp/m.jsonl", "--metrics-interval", "2.5"]).unwrap();
+        assert_eq!(o.metrics_out.as_deref(), Some("/tmp/m.jsonl"));
+        assert_eq!(o.metrics_interval, Some(2.5));
+        assert!(parse(&[]).unwrap().metrics_out.is_none());
+        assert!(parse(&["--metrics-out"]).is_err());
+        assert!(parse(&["--metrics-interval", "0"]).is_err());
+        assert!(parse(&["--metrics-interval", "nope"]).is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use rand::SeedableRng;
 use adapt_dfs::cluster::NodeSpec;
 use adapt_dfs::namenode::{NameNode, Threshold};
 use adapt_dfs::{BlockSize, DfsError, FileId, NodeId};
+use adapt_metrics::{MetricsHub, SloTarget};
 use adapt_sim::engine::SimConfig;
 use adapt_sim::interrupt::InterruptionProcess;
 use adapt_sim::runner::placement_from_namenode;
@@ -53,6 +54,21 @@ pub const SLOWDOWN_GRID: [f64; 8] = [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0];
 /// Per-job simulation horizon (seconds) — same guard as the large-scale
 /// harness.
 const JOB_HORIZON: f64 = 1e7;
+
+/// The declared service-level objective on job sojourn: 99% of jobs
+/// (target 990‰) finish within 300 simulated seconds. The baseline
+/// sweep's p99 sojourns sit at 336–518 s, so the saturated cell burns
+/// error budget — the `metrics slo` subcommand reports the rate.
+pub const SLO_SOJOURN_OBJECTIVE_US: u64 = 300_000_000;
+
+/// Per-mille of jobs that must meet [`SLO_SOJOURN_OBJECTIVE_US`].
+pub const SLO_TARGET_MILLI: u32 = 990;
+
+/// The [`SloTarget`] the metrics cell declares over its
+/// `job_sojourn_us` observations.
+pub fn slo_target() -> SloTarget {
+    SloTarget::new("job_sojourn_us", SLO_SOJOURN_OBJECTIVE_US, SLO_TARGET_MILLI)
+}
 
 /// Configuration of one multi-job scheduling experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -395,6 +411,68 @@ pub fn run_jobstream(config: &JobStreamConfig) -> Result<Vec<LoadPoint>, Experim
     Ok(points)
 }
 
+/// Runs the *metrics cell* of the sweep: the saturated load level under
+/// the ADAPT placement, instrumented with a [`MetricsHub`] scraping
+/// every `interval_us` of simulated time and carrying the declared
+/// p99-sojourn [`slo_target`]. The hub records tracker gauges on the
+/// cadence, per-job `job_sojourn_us` / `job_wait_us` observations, and
+/// admission work spans; the cell's outcome is byte-identical to the
+/// same cell inside [`run_jobstream`] (observation changes nothing).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] for invalid configuration or substrate
+/// failures.
+pub fn run_jobstream_metrics(
+    config: &JobStreamConfig,
+    interval_us: u64,
+) -> Result<MetricsHub, ExperimentError> {
+    config.validate()?;
+    let world = World::generate(&config.world_config())?;
+    let mut rotate_rng = StdRng::seed_from_u64(config.seed ^ 0x0FF5_E715);
+    let schedules: Vec<InterruptionSchedule> = world
+        .traces()
+        .iter()
+        .map(|host| InterruptionSchedule::rotated_random(host, &mut rotate_rng))
+        .collect();
+    let processes: Vec<InterruptionProcess> = schedules
+        .into_iter()
+        .map(InterruptionProcess::trace)
+        .collect();
+
+    let sim = SimConfig::new(config.bandwidth_mbps, config.block_size, config.gamma)?
+        .with_horizon(JOB_HORIZON);
+    let tracker_cfg = JobTrackerConfig::new(sim, config.sched)?
+        .with_max_nodes_per_job(config.max_nodes_per_job.min(config.nodes))?;
+    let tracker = JobTracker::new(processes, tracker_cfg)?;
+
+    let load_pm = LOAD_LEVELS_PM[LOAD_LEVELS_PM.len() - 1];
+    let workload = WorkloadConfig::fb2010_like(config.jobs, config.mean_gap(load_pm));
+    let jobs = generate(&workload, config.seed ^ (load_pm << 16)).map_err(|e| {
+        ExperimentError::InvalidConfig {
+            name: "workload",
+            reason: e.to_string(),
+        }
+    })?;
+    let specs: Vec<NodeSpec> = world
+        .availability()
+        .iter()
+        .map(|&a| NodeSpec::new(a))
+        .collect();
+    let mut placer =
+        NameNodePlacer::new(specs, PolicyKind::Adapt, config.gamma, config.replication)?;
+    let mut hub = MetricsHub::new(interval_us).with_slo(slo_target());
+    tracker.run_with_metrics(
+        &jobs,
+        config.seed,
+        &OptimizedEngine,
+        &mut placer,
+        false,
+        &mut hub,
+    )?;
+    Ok(hub)
+}
+
 /// Serializes the sweep as the `adapt-jobstream/1` report: the config,
 /// the slowdown grid (per-mille), and one object per cell, all keys
 /// sorted, all values integers (apart from the config's own floats,
@@ -585,6 +663,36 @@ mod tests {
         assert!(table.contains("existing"));
         let csv = render_csv(&points);
         assert_eq!(csv.lines().count(), points.len() + 1);
+    }
+
+    #[test]
+    fn metrics_cell_is_deterministic_and_carries_the_slo() {
+        let config = small();
+        let hub_a = run_jobstream_metrics(&config, 60_000_000).unwrap();
+        let doc_a = hub_a.to_jsonl("jobstream", config.nodes as u64, config.seed);
+        let hub_b = run_jobstream_metrics(&config, 60_000_000).unwrap();
+        assert_eq!(
+            doc_a,
+            hub_b.to_jsonl("jobstream", config.nodes as u64, config.seed)
+        );
+        let doc = adapt_metrics::export::parse_jsonl(&doc_a).unwrap();
+        assert_eq!(doc.slo.as_ref(), Some(&slo_target()));
+        // Every job contributes exactly one sojourn observation.
+        let sojourns: Vec<u64> = doc
+            .samples_u64("job_sojourn_us")
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(sojourns.len(), config.jobs);
+        // The declared target evaluates to a coherent burn-rate report.
+        let report = adapt_metrics::slo::evaluate(sojourns.iter().copied(), &slo_target());
+        assert_eq!(report.total, config.jobs as u64);
+        let violations = sojourns
+            .iter()
+            .filter(|&&s| s > SLO_SOJOURN_OBJECTIVE_US)
+            .count() as u64;
+        assert_eq!(report.violations, violations);
+        assert!(doc.series.contains_key("tracker.pending_jobs"));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use rand::SeedableRng;
 use adapt_core::AdaptPolicy;
 use adapt_dfs::cluster::NodeSpec;
 use adapt_dfs::namenode::{NameNode, Threshold};
+use adapt_metrics::MetricsHub;
 use adapt_sim::engine::{MapPhaseSim, SimConfig};
 use adapt_sim::interrupt::InterruptionProcess;
 use adapt_sim::runner::placement_from_namenode;
@@ -86,6 +87,44 @@ pub fn build_probe(
     seed: u64,
     traced: bool,
 ) -> Result<(RunReport, Option<Trace>), ExperimentError> {
+    let (report, trace, _) = build_probe_inner(tool, nodes, seed, traced, None)?;
+    Ok((report, trace))
+}
+
+/// Runs the probe pipeline with a [`MetricsHub`] scraping every
+/// `interval_us` of simulated time, threaded through the NameNode
+/// (placement and replication-state instruments), the predictor
+/// (placement-rate gauges), and the simulation engine (cadence scrapes
+/// plus work spans). Returns the sealed hub next to the report.
+///
+/// The hub observes the run without perturbing it: the report is
+/// byte-identical to a plain [`build_probe`] of the same `(nodes, seed)`.
+///
+/// # Errors
+///
+/// Propagates substrate failures as [`ExperimentError`].
+pub fn build_probe_metrics(
+    tool: &str,
+    nodes: usize,
+    seed: u64,
+    interval_us: u64,
+) -> Result<(RunReport, MetricsHub), ExperimentError> {
+    let (report, _, hub) = build_probe_inner(tool, nodes, seed, false, Some(interval_us))?;
+    // The inner pipeline always returns a hub when an interval is given.
+    hub.map(|hub| (report, hub))
+        .ok_or_else(|| ExperimentError::InvalidConfig {
+            name: "metrics",
+            reason: "metrics probe produced no metrics hub".to_string(),
+        })
+}
+
+fn build_probe_inner(
+    tool: &str,
+    nodes: usize,
+    seed: u64,
+    traced: bool,
+    metrics_interval_us: Option<u64>,
+) -> Result<(RunReport, Option<Trace>, Option<MetricsHub>), ExperimentError> {
     let config = probe_config(nodes, seed);
     let world = World::generate(&config)?;
     let gamma = config.gamma();
@@ -109,6 +148,9 @@ pub fn build_probe(
     if traced {
         namenode.attach_trace(TraceRecorder::new());
     }
+    if let Some(interval_us) = metrics_interval_us {
+        namenode.attach_metrics(MetricsHub::new(interval_us));
+    }
     for (i, schedule) in schedules.iter().enumerate() {
         if schedule.is_down_at(0.0) {
             namenode.mark_down(adapt_dfs::NodeId(i as u32))?;
@@ -125,6 +167,9 @@ pub fn build_probe(
         &mut place_rng,
     )?;
     let placement = placement_from_namenode(&namenode, file)?;
+    // Sample the post-placement replication state at t = 0 (a forced
+    // scrape, so it lands before the cadence starts).
+    namenode.scrape_replication_state(0);
 
     let processes: Vec<InterruptionProcess> = schedules
         .into_iter()
@@ -135,7 +180,18 @@ pub fn build_probe(
     if let Some(recorder) = namenode.take_trace() {
         sim = sim.with_trace(recorder);
     }
-    let detailed = sim.run_detailed(seed)?;
+    let mut hub = namenode.take_metrics();
+    let detailed = if let Some(hub) = hub.as_mut() {
+        // Predictor gauges at placement time — read from the policy's
+        // cached rates so no extra E[T] evaluations perturb the report.
+        policy.predictor().record_gauges(&mut hub.registry);
+        if let Some(rates) = policy.rates() {
+            rates.record_gauges(&mut hub.registry);
+        }
+        sim.run_detailed_metrics(seed, hub)?
+    } else {
+        sim.run_detailed(seed)?
+    };
 
     let mut report = RunReport::new(tool);
     report.set_meta("nodes", nodes as u64);
@@ -167,7 +223,7 @@ pub fn build_probe(
     summary.insert("tasks", r.tasks as u64);
     report.set_section("summary", summary);
 
-    Ok((report, detailed.trace))
+    Ok((report, detailed.trace, hub))
 }
 
 /// The Table 1 population statistics as a report section (attached by the
@@ -220,6 +276,37 @@ pub fn write_probe_trace(tool: &str, path: &str, nodes: usize, seed: u64) {
         std::process::exit(1);
     }
     eprintln!("event trace written to {path}");
+}
+
+/// Default metrics scrape cadence: every 10 simulated seconds.
+pub const DEFAULT_METRICS_INTERVAL_SECS: f64 = 10.0;
+
+/// Converts a scrape cadence in simulated seconds to the integer
+/// microseconds the registry runs on.
+pub fn metrics_interval_us(secs: f64) -> u64 {
+    (secs * 1e6).round() as u64
+}
+
+/// Runs the metrics probe for `tool` and writes its `adapt-metrics/1`
+/// document (JSONL) to `path` — the shared tail of every binary's
+/// `--metrics-out` handling. `interval` is the scrape cadence in
+/// simulated seconds (default [`DEFAULT_METRICS_INTERVAL_SECS`]).
+/// Byte-identical for a given `(nodes, seed, interval)` triple. Exits the
+/// process on failure.
+pub fn write_probe_metrics(tool: &str, path: &str, nodes: usize, seed: u64, interval: Option<f64>) {
+    let interval_us = metrics_interval_us(interval.unwrap_or(DEFAULT_METRICS_INTERVAL_SECS));
+    let hub = match build_probe_metrics(tool, nodes, seed, interval_us) {
+        Ok((_, hub)) => hub,
+        Err(e) => {
+            eprintln!("{tool}: metrics probe failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(path, hub.to_jsonl(tool, nodes as u64, seed)) {
+        eprintln!("cannot write metrics to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("metrics written to {path}");
 }
 
 /// Writes an assembled report to `path` (the `table1` binary adds its own
@@ -313,6 +400,40 @@ mod tests {
         assert_eq!(
             engine.get("transfers_started"),
             Some(&Value::from(derived.transfers_started))
+        );
+    }
+
+    #[test]
+    fn metrics_probe_is_byte_stable_and_leaves_report_unchanged() {
+        let (plain_report, _) = build_probe("test", 64, 3, false).unwrap();
+        let (metrics_report, hub_a) = build_probe_metrics("test", 64, 3, 1_000_000).unwrap();
+        // Zero-overhead contract: threading a hub through the stack
+        // changes nothing in the telemetry document.
+        assert_eq!(plain_report.to_json(), metrics_report.to_json());
+        let doc_a = hub_a.to_jsonl("test", 64, 3);
+        // Fixed (nodes, seed, interval) => byte-identical document.
+        let (_, hub_b) = build_probe_metrics("test", 64, 3, 1_000_000).unwrap();
+        assert_eq!(doc_a, hub_b.to_jsonl("test", 64, 3));
+        // Every instrumented layer shows up in the parsed document.
+        let doc = adapt_metrics::export::parse_jsonl(&doc_a).unwrap();
+        for series in [
+            "engine.queue_depth",
+            "engine.done_tasks",
+            "dfs.blocks",
+            "dfs.replicas_placed",
+            "predictor.usable_nodes",
+            "predictor.phi",
+        ] {
+            assert!(doc.series.contains_key(series), "missing series {series}");
+        }
+        assert!(doc.spans.iter().any(|s| s.path == "run;attempt_done"));
+        // And the engine's final done-task gauge matches the report.
+        let summary = metrics_report.section("summary").unwrap();
+        let tasks = summary.get("tasks").unwrap();
+        let done = doc.samples_u64("engine.done_tasks");
+        assert_eq!(
+            done.last().map(|&(_, v)| Value::from(v)).as_ref(),
+            Some(tasks)
         );
     }
 

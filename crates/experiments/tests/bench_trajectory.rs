@@ -1,0 +1,121 @@
+//! The bench-trajectory gate: every committed `BENCH_*.json` datapoint
+//! at the repository root must stay parseable by the shared telemetry
+//! parser and carry a positive `events_per_sec` throughput figure per
+//! scenario. A new datapoint that breaks the schema — or a refactor
+//! that changes the emitter so old files no longer parse — fails here,
+//! not in a reviewer's head.
+
+use adapt_telemetry::{parse_value, Value};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn bench_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(repo_root())
+        .expect("repo root readable")
+        .filter_map(|entry| {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then(|| path.clone())
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn throughput(scenario: &Value) -> f64 {
+    match scenario.get("events_per_sec") {
+        Some(Value::F64(x)) => *x,
+        Some(Value::U64(n)) => *n as f64,
+        other => panic!("scenario lacks numeric events_per_sec: {other:?}"),
+    }
+}
+
+#[test]
+fn bench_datapoints_parse_and_carry_throughput() {
+    let files = bench_files();
+    assert!(
+        files.len() >= 2,
+        "expected at least two BENCH_*.json trajectory datapoints at the \
+         repo root, found {}: {files:?}",
+        files.len()
+    );
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let doc = parse_value(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        assert_eq!(
+            doc.get("schema"),
+            Some(&Value::Str("adapt-bench/1".to_string())),
+            "{name}: wrong or missing schema tag"
+        );
+        assert!(
+            matches!(doc.get("seed"), Some(Value::U64(_))),
+            "{name}: missing seed"
+        );
+        let Some(Value::Array(scenarios)) = doc.get("scenarios") else {
+            panic!("{name}: missing scenarios array");
+        };
+        assert!(!scenarios.is_empty(), "{name}: empty scenarios array");
+        for scenario in scenarios {
+            let label = match scenario.get("name") {
+                Some(Value::Str(s)) => s.clone(),
+                other => panic!("{name}: scenario lacks a name: {other:?}"),
+            };
+            let eps = throughput(scenario);
+            assert!(
+                eps.is_finite() && eps > 0.0,
+                "{name}: scenario `{label}` has non-positive throughput {eps}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bench_comparisons_reference_known_scenarios() {
+    for path in bench_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = parse_value(&text).unwrap();
+        let Some(Value::Array(scenarios)) = doc.get("scenarios") else {
+            panic!("{name}: missing scenarios array");
+        };
+        let names: Vec<&str> = scenarios
+            .iter()
+            .filter_map(|s| match s.get("name") {
+                Some(Value::Str(n)) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        // A comparison block is optional (the first datapoint has no
+        // predecessor), but when present every compared scenario must
+        // exist in this file's own scenario list with matching current
+        // throughput, so the trajectory is self-consistent.
+        let Some(compared) = doc.get("compared_to") else {
+            continue;
+        };
+        let Some(Value::Array(rows)) = compared.get("scenarios") else {
+            panic!("{name}: compared_to lacks scenarios");
+        };
+        for row in rows {
+            let Some(Value::Str(scenario)) = row.get("name") else {
+                panic!("{name}: comparison row lacks a name");
+            };
+            assert!(
+                names.contains(&scenario.as_str()),
+                "{name}: comparison references unknown scenario `{scenario}`"
+            );
+            let current = match row.get("current_events_per_sec") {
+                Some(Value::F64(x)) => *x,
+                Some(Value::U64(n)) => *n as f64,
+                other => panic!("{name}: comparison lacks current_events_per_sec: {other:?}"),
+            };
+            assert!(
+                current.is_finite() && current > 0.0,
+                "{name}: comparison for `{scenario}` has non-positive throughput"
+            );
+        }
+    }
+}

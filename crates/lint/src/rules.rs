@@ -72,12 +72,13 @@ pub mod id {
 /// Crates whose *library* code must be panic-free. `lint` is included so
 /// the analyzer is self-hosting: its own parser must never panic on
 /// arbitrary workspace source.
-pub const ROBUSTNESS_CRATES: [&str; 9] = [
+pub const ROBUSTNESS_CRATES: [&str; 10] = [
     "availability",
     "core",
     "dfs",
     "ds",
     "lint",
+    "metrics",
     "sim",
     "trace",
     "verify",

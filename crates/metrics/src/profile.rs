@@ -1,0 +1,409 @@
+//! Hierarchical work profiling in deterministic units.
+//!
+//! Wall-clock profilers are banned here by construction (the determinism
+//! lints reject `Instant`/`SystemTime` workspace-wide), so spans are
+//! accounted in units that are pure functions of the simulation: events
+//! processed, heap operations, placement recomputes, and *simulated*
+//! microseconds elapsed while the span was open. The span tree is an
+//! arena; entering a child by name is a `BTreeMap` probe, so profiles of
+//! the same run are identical byte-for-byte.
+//!
+//! Two export formats, both rebuilt from flat [`SpanRecord`]s so the
+//! live profiler and a re-parsed JSONL document share one code path:
+//!
+//! - **Collapsed stacks** ([`collapsed`]): `root;child;leaf N` lines,
+//!   the input format of inferno / Brendan Gregg's `flamegraph.pl`.
+//! - **Chrome trace** ([`chrome_trace`]): `trace_event` complete spans
+//!   (`ph:"X"`) whose timeline axis is the chosen work unit, laid out by
+//!   cumulative prefix sums — open it at `chrome://tracing` or in
+//!   Perfetto.
+
+use std::collections::BTreeMap;
+
+use adapt_telemetry::Value;
+
+/// Work attributed to a span, by unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkCounts {
+    /// Simulation events processed.
+    pub events: u64,
+    /// Event-queue operations (pushes + pops).
+    pub heap_ops: u64,
+    /// Placement decisions / recomputes.
+    pub placements: u64,
+    /// Simulated microseconds elapsed inside the span.
+    pub sim_us: u64,
+}
+
+impl WorkCounts {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &WorkCounts) {
+        self.events += other.events;
+        self.heap_ops += other.heap_ops;
+        self.placements += other.placements;
+        self.sim_us += other.sim_us;
+    }
+
+    /// The count for one unit.
+    pub fn get(&self, unit: WorkUnit) -> u64 {
+        match unit {
+            WorkUnit::Events => self.events,
+            WorkUnit::HeapOps => self.heap_ops,
+            WorkUnit::Placements => self.placements,
+            WorkUnit::SimUs => self.sim_us,
+        }
+    }
+}
+
+/// The unit a flamegraph/timeline is measured in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkUnit {
+    /// Simulation events processed.
+    Events,
+    /// Event-queue operations.
+    HeapOps,
+    /// Placement decisions.
+    Placements,
+    /// Simulated microseconds.
+    SimUs,
+}
+
+impl WorkUnit {
+    /// Stable tag (CLI flag value / export label).
+    pub fn tag(self) -> &'static str {
+        match self {
+            WorkUnit::Events => "events",
+            WorkUnit::HeapOps => "heap_ops",
+            WorkUnit::Placements => "placements",
+            WorkUnit::SimUs => "sim_us",
+        }
+    }
+
+    /// Inverse of [`tag`](WorkUnit::tag).
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "events" => Some(WorkUnit::Events),
+            "heap_ops" => Some(WorkUnit::HeapOps),
+            "placements" => Some(WorkUnit::Placements),
+            "sim_us" => Some(WorkUnit::SimUs),
+            _ => None,
+        }
+    }
+}
+
+/// One span flattened to its `;`-joined path plus **self** (exclusive)
+/// work — the unit of JSONL export and of both render paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// `;`-joined path from the root, e.g. `run;attempt_done`.
+    pub path: String,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Work attributed directly to this span (children excluded).
+    pub counts: WorkCounts,
+}
+
+#[derive(Debug, Clone)]
+struct SpanNode {
+    name: String,
+    children: BTreeMap<String, usize>,
+    counts: WorkCounts,
+    calls: u64,
+}
+
+/// An arena span tree with an explicit enter/exit stack. The root span
+/// (`run`) always exists and can never be exited, so attribution methods
+/// are total — no panics, no `Result` plumbing on hot paths.
+#[derive(Debug, Clone)]
+pub struct WorkProfiler {
+    nodes: Vec<SpanNode>,
+    stack: Vec<usize>,
+}
+
+impl Default for WorkProfiler {
+    fn default() -> Self {
+        WorkProfiler::new()
+    }
+}
+
+impl WorkProfiler {
+    /// A profiler with the root span (`run`) open.
+    pub fn new() -> Self {
+        WorkProfiler {
+            nodes: vec![SpanNode {
+                name: "run".to_string(),
+                children: BTreeMap::new(),
+                counts: WorkCounts::default(),
+                calls: 1,
+            }],
+            stack: vec![0],
+        }
+    }
+
+    fn top(&self) -> usize {
+        self.stack.last().copied().unwrap_or(0)
+    }
+
+    /// Opens (or re-enters) the named child of the current span.
+    pub fn enter(&mut self, name: &str) {
+        let parent = self.top();
+        let idx = match self.nodes.get(parent).and_then(|p| p.children.get(name)) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(SpanNode {
+                    name: name.to_string(),
+                    children: BTreeMap::new(),
+                    counts: WorkCounts::default(),
+                    calls: 0,
+                });
+                if let Some(p) = self.nodes.get_mut(parent) {
+                    p.children.insert(name.to_string(), idx);
+                }
+                idx
+            }
+        };
+        if let Some(node) = self.nodes.get_mut(idx) {
+            node.calls += 1;
+        }
+        self.stack.push(idx);
+    }
+
+    /// Closes the current span. The root never closes: an unbalanced
+    /// `exit` is a no-op, not a panic.
+    pub fn exit(&mut self) {
+        if self.stack.len() > 1 {
+            self.stack.pop();
+        }
+    }
+
+    /// Attributes work to the current span.
+    pub fn add(&mut self, counts: WorkCounts) {
+        let top = self.top();
+        if let Some(node) = self.nodes.get_mut(top) {
+            node.counts.merge(&counts);
+        }
+    }
+
+    /// Attributes `n` processed events to the current span.
+    pub fn add_events(&mut self, n: u64) {
+        self.add(WorkCounts {
+            events: n,
+            ..WorkCounts::default()
+        });
+    }
+
+    /// Attributes `n` heap operations to the current span.
+    pub fn add_heap_ops(&mut self, n: u64) {
+        self.add(WorkCounts {
+            heap_ops: n,
+            ..WorkCounts::default()
+        });
+    }
+
+    /// Attributes `n` placement decisions to the current span.
+    pub fn add_placements(&mut self, n: u64) {
+        self.add(WorkCounts {
+            placements: n,
+            ..WorkCounts::default()
+        });
+    }
+
+    /// Attributes `n` simulated microseconds to the current span.
+    pub fn add_sim_us(&mut self, n: u64) {
+        self.add(WorkCounts {
+            sim_us: n,
+            ..WorkCounts::default()
+        });
+    }
+
+    /// Whether any work was recorded anywhere in the tree.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].counts == WorkCounts::default()
+    }
+
+    /// Flattens the tree to records in deterministic depth-first order
+    /// (children alphabetical). Only spans that were entered appear.
+    pub fn to_spans(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.flatten(0, String::new(), &mut out);
+        out
+    }
+
+    fn flatten(&self, idx: usize, prefix: String, out: &mut Vec<SpanRecord>) {
+        let Some(node) = self.nodes.get(idx) else {
+            return;
+        };
+        let path = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        out.push(SpanRecord {
+            path: path.clone(),
+            calls: node.calls,
+            counts: node.counts,
+        });
+        for &child in node.children.values() {
+            self.flatten(child, path.clone(), out);
+        }
+    }
+}
+
+/// Renders spans as collapsed stacks (`a;b;c N` per line) in `unit`.
+/// Lines with zero self-work are skipped, matching what `flamegraph.pl`
+/// and inferno expect.
+pub fn collapsed(spans: &[SpanRecord], unit: WorkUnit) -> String {
+    let mut out = String::new();
+    for span in spans {
+        let n = span.counts.get(unit);
+        if n > 0 {
+            out.push_str(&span.path);
+            out.push(' ');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders spans as a Chrome `trace_event` document whose time axis is
+/// `unit`: each span is a complete event (`ph:"X"`) at the cumulative
+/// offset of the work preceding it in depth-first order, `dur` its
+/// inclusive (self + descendants) work.
+pub fn chrome_trace(spans: &[SpanRecord], unit: WorkUnit) -> Value {
+    // Rebuild parent→children adjacency from paths (spans arrive in DFS
+    // order, parents before children).
+    let index: BTreeMap<&str, usize> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.path.as_str(), i))
+        .collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.path.rsplit_once(';') {
+            Some((parent_path, _)) => match index.get(parent_path) {
+                Some(&p) => children[p].push(i),
+                None => roots.push(i),
+            },
+            None => roots.push(i),
+        }
+    }
+    // Inclusive totals, computed leaf-up (reverse DFS order works since
+    // parents precede children in `spans`).
+    let mut inclusive: Vec<u64> = spans.iter().map(|s| s.counts.get(unit)).collect();
+    for i in (0..spans.len()).rev() {
+        let child_sum: u64 = children[i].iter().map(|&c| inclusive[c]).sum();
+        inclusive[i] += child_sum;
+    }
+
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len());
+    // (span index, start offset) work list; children laid out after the
+    // parent's own start, sequentially.
+    let mut work: Vec<(usize, u64)> = roots.iter().rev().map(|&r| (r, 0)).collect();
+    let mut offsets: Vec<u64> = vec![0; spans.len()];
+    while let Some((i, start)) = work.pop() {
+        offsets[i] = start;
+        let mut child_start = start;
+        for &c in &children[i] {
+            work.push((c, child_start));
+            child_start += inclusive[c];
+        }
+    }
+    for (i, span) in spans.iter().enumerate() {
+        let name = span.path.rsplit(';').next().unwrap_or(span.path.as_str());
+        let mut args = Value::object();
+        args.insert("calls", span.calls);
+        args.insert("events", span.counts.events);
+        args.insert("heap_ops", span.counts.heap_ops);
+        args.insert("placements", span.counts.placements);
+        args.insert("sim_us", span.counts.sim_us);
+        let mut ev = Value::object();
+        ev.insert("name", name);
+        ev.insert("cat", unit.tag());
+        ev.insert("ph", "X");
+        ev.insert("ts", offsets[i]);
+        ev.insert("dur", inclusive[i]);
+        ev.insert("pid", 0u64);
+        ev.insert("tid", 0u64);
+        ev.insert("args", args);
+        events.push(ev);
+    }
+    let mut doc = Value::object();
+    doc.insert("displayTimeUnit", "ms");
+    doc.insert("traceEvents", Value::Array(events));
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkProfiler {
+        let mut p = WorkProfiler::new();
+        p.enter("dispatch");
+        p.add_events(3);
+        p.add_heap_ops(7);
+        p.enter("steal");
+        p.add_events(1);
+        p.exit();
+        p.exit();
+        p.enter("outage");
+        p.add_sim_us(500);
+        p.exit();
+        p
+    }
+
+    #[test]
+    fn spans_flatten_in_deterministic_dfs_order() {
+        let spans = sample().to_spans();
+        let paths: Vec<&str> = spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["run", "run;dispatch", "run;dispatch;steal", "run;outage"]
+        );
+        assert_eq!(spans[1].counts.events, 3);
+        assert_eq!(spans[1].calls, 1);
+        assert_eq!(sample().to_spans(), spans);
+    }
+
+    #[test]
+    fn unbalanced_exit_and_reentry_are_safe() {
+        let mut p = WorkProfiler::new();
+        p.exit(); // root never closes
+        p.enter("a");
+        p.exit();
+        p.enter("a"); // re-entry reuses the node
+        p.add_events(1);
+        p.exit();
+        let spans = p.to_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].calls, 2);
+    }
+
+    #[test]
+    fn collapsed_emits_nonzero_self_counts() {
+        let text = collapsed(&sample().to_spans(), WorkUnit::Events);
+        assert_eq!(text, "run;dispatch 3\nrun;dispatch;steal 1\n");
+        let sim = collapsed(&sample().to_spans(), WorkUnit::SimUs);
+        assert_eq!(sim, "run;outage 500\n");
+    }
+
+    #[test]
+    fn chrome_trace_nests_spans_by_cumulative_offsets() {
+        let doc = chrome_trace(&sample().to_spans(), WorkUnit::Events);
+        let Some(Value::Array(events)) = doc.get("traceEvents") else {
+            panic!("missing traceEvents");
+        };
+        assert_eq!(events.len(), 4);
+        // run: dur 4 (3 dispatch + 1 steal); dispatch at ts 0 dur 4;
+        // steal nested at dispatch's start; outage dur 0 in this unit.
+        assert_eq!(events[0].get("dur"), Some(&Value::U64(4)));
+        assert_eq!(events[1].get("name"), Some(&Value::Str("dispatch".into())));
+        assert_eq!(events[1].get("dur"), Some(&Value::U64(4)));
+        assert_eq!(events[2].get("name"), Some(&Value::Str("steal".into())));
+        assert_eq!(events[2].get("ts"), Some(&Value::U64(0)));
+        assert_eq!(events[2].get("dur"), Some(&Value::U64(1)));
+    }
+}

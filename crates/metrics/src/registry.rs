@@ -1,0 +1,430 @@
+//! The metrics registry: named instruments scraped on a fixed sim-time
+//! cadence into fixed-capacity ring-buffer series.
+//!
+//! Three instrument families:
+//!
+//! - **Gauges** ([`MetricsRegistry::set_gauge`]) hold the latest value;
+//!   each scrape samples the current value with the scrape's timestamp.
+//! - **Counters** ([`MetricsRegistry::incr`]) accumulate; each scrape
+//!   samples the cumulative total (rates are a consumer-side delta).
+//! - **Observations** ([`MetricsRegistry::observe`]) are event-driven
+//!   integer measurements (for example a job's sojourn in µs): each is
+//!   recorded immediately in its own series *and* fed into a sliding
+//!   window whose nearest-rank p50/p99/p999 are scraped on the cadence
+//!   as derived `<name>.p50` / `.p99` / `.p999` / `.count` series.
+//!
+//! Scrape boundaries are exact multiples of the interval. A scrape at
+//! boundary `b` samples the state left by the last event processed at or
+//! before `b` (the engines call [`MetricsRegistry::advance`] before
+//! applying each event), so the cadence is a pure function of the event
+//! stream — never of host speed.
+
+use std::collections::BTreeMap;
+
+use adapt_telemetry::Value;
+
+use crate::window::SlidingWindow;
+
+/// Default ring capacity per series (samples kept before eviction).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Default scrape cadence: 10 simulated seconds.
+pub const DEFAULT_INTERVAL_US: u64 = 10_000_000;
+
+/// Observation windows span this many scrape intervals.
+const WINDOW_INTERVALS: u64 = 6;
+
+/// A sampled value: integers stay exact (64-bit seeds, counts, µs);
+/// gauges that are genuinely real-valued (rates, fractions) stay `f64`
+/// and serialize shortest-roundtrip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleValue {
+    /// Exact unsigned integer.
+    U64(u64),
+    /// Finite float (non-finite serializes as `null`, as in telemetry).
+    F64(f64),
+}
+
+impl SampleValue {
+    /// The JSON form of the value.
+    pub fn to_value(self) -> Value {
+        match self {
+            SampleValue::U64(n) => Value::U64(n),
+            SampleValue::F64(x) => Value::F64(x),
+        }
+    }
+}
+
+impl From<u64> for SampleValue {
+    fn from(v: u64) -> Self {
+        SampleValue::U64(v)
+    }
+}
+impl From<u32> for SampleValue {
+    fn from(v: u32) -> Self {
+        SampleValue::U64(v as u64)
+    }
+}
+impl From<usize> for SampleValue {
+    fn from(v: usize) -> Self {
+        SampleValue::U64(v as u64)
+    }
+}
+impl From<f64> for SampleValue {
+    fn from(v: f64) -> Self {
+        SampleValue::F64(v)
+    }
+}
+
+/// One timestamped sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulated time, integer microseconds.
+    pub t_us: u64,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// What kind of instrument a series was produced by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Point-in-time value sampled on the cadence.
+    Gauge,
+    /// Cumulative monotone count sampled on the cadence.
+    Counter,
+    /// Event-driven measurement recorded when it happens.
+    Observation,
+}
+
+impl SeriesKind {
+    /// Stable tag used in the JSONL export.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Counter => "counter",
+            SeriesKind::Observation => "observation",
+        }
+    }
+
+    /// Inverse of [`tag`](SeriesKind::tag).
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "gauge" => Some(SeriesKind::Gauge),
+            "counter" => Some(SeriesKind::Counter),
+            "observation" => Some(SeriesKind::Observation),
+            _ => None,
+        }
+    }
+}
+
+/// A fixed-capacity ring buffer of [`Sample`]s: pushing beyond capacity
+/// evicts the oldest sample and bumps [`dropped`](Series::dropped), so a
+/// series never reallocates mid-run and memory stays bounded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    kind: SeriesKind,
+    capacity: usize,
+    head: usize,
+    buf: Vec<Sample>,
+    dropped: u64,
+}
+
+impl Series {
+    /// An empty series with the given eviction capacity (min 1).
+    pub fn new(kind: SeriesKind, capacity: usize) -> Self {
+        Series {
+            kind,
+            capacity: capacity.max(1),
+            head: 0,
+            buf: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, t_us: u64, value: SampleValue) {
+        let sample = Sample { t_us, value };
+        if self.buf.len() < self.capacity {
+            self.buf.push(sample);
+        } else if let Some(slot) = self.buf.get_mut(self.head) {
+            *slot = sample;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Samples currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        let (wrapped, chrono) = self.buf.split_at(self.head.min(self.buf.len()));
+        chrono.iter().chain(wrapped.iter())
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Samples evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The instrument family that feeds this series.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<&Sample> {
+        if self.head == 0 {
+            self.buf.last()
+        } else {
+            self.buf.get(self.head.wrapping_sub(1))
+        }
+    }
+}
+
+/// Named instruments plus their scraped series. See the module docs for
+/// the scrape semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRegistry {
+    interval_us: u64,
+    capacity: usize,
+    next_scrape_us: u64,
+    last_scrape_us: Option<u64>,
+    scrapes: u64,
+    gauges: BTreeMap<String, SampleValue>,
+    counters: BTreeMap<String, u64>,
+    windows: BTreeMap<String, SlidingWindow>,
+    series: BTreeMap<String, Series>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new(DEFAULT_INTERVAL_US, DEFAULT_CAPACITY)
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry scraping every `interval_us` of simulated time (min 1)
+    /// into ring buffers of `capacity` samples. The first cadence
+    /// boundary is at `interval_us`, not 0; harnesses wanting a t = 0
+    /// snapshot call [`force_scrape`](MetricsRegistry::force_scrape).
+    pub fn new(interval_us: u64, capacity: usize) -> Self {
+        let interval_us = interval_us.max(1);
+        MetricsRegistry {
+            interval_us,
+            capacity: capacity.max(1),
+            next_scrape_us: interval_us,
+            last_scrape_us: None,
+            scrapes: 0,
+            gauges: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            windows: BTreeMap::new(),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The scrape cadence in simulated microseconds.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Scrapes taken so far (cadence plus forced).
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes
+    }
+
+    /// Sets a gauge to its current value (sampled at the next scrape).
+    pub fn set_gauge(&mut self, name: &str, value: impl Into<SampleValue>) {
+        self.gauges.insert(name.to_string(), value.into());
+    }
+
+    /// Adds to a cumulative counter.
+    pub fn incr(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Records an event-driven integer observation at `t_us`: appended
+    /// to the `name` series immediately and fed to the sliding window
+    /// behind the derived percentile series.
+    pub fn observe(&mut self, name: &str, t_us: u64, value: u64) {
+        let capacity = self.capacity;
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(SeriesKind::Observation, capacity))
+            .push(t_us, SampleValue::U64(value));
+        let window_us = self.interval_us.saturating_mul(WINDOW_INTERVALS);
+        self.windows
+            .entry(name.to_string())
+            .or_insert_with(|| SlidingWindow::new(window_us))
+            .push(t_us, value);
+    }
+
+    /// Whether at least one cadence boundary is due at or before `t_us`.
+    pub fn due(&self, t_us: u64) -> bool {
+        self.next_scrape_us <= t_us
+    }
+
+    /// Emits a scrape for every cadence boundary at or before `t_us`.
+    /// Callers update gauges first (cheaply guarded by
+    /// [`due`](MetricsRegistry::due)), so every boundary in a gap between
+    /// events samples the state that actually held across the gap.
+    pub fn advance(&mut self, t_us: u64) {
+        while self.next_scrape_us <= t_us {
+            let boundary = self.next_scrape_us;
+            self.scrape_at(boundary);
+            self.next_scrape_us = boundary.saturating_add(self.interval_us);
+            if self.next_scrape_us == boundary {
+                break; // saturated at u64::MAX: no further boundaries
+            }
+        }
+    }
+
+    /// Takes an off-cadence scrape at `t_us` (for example at t = 0 after
+    /// placement, or at end of run). Does not move the cadence.
+    pub fn force_scrape(&mut self, t_us: u64) {
+        if self.last_scrape_us != Some(t_us) {
+            self.scrape_at(t_us);
+        }
+    }
+
+    /// Seals the registry at end-of-run `t_us`: emits any cadence
+    /// boundaries still due, then a final end-state sample.
+    pub fn finish(&mut self, t_us: u64) {
+        self.advance(t_us);
+        self.force_scrape(t_us);
+    }
+
+    /// The scraped series, keyed by name (sorted).
+    pub fn series(&self) -> &BTreeMap<String, Series> {
+        &self.series
+    }
+
+    fn scrape_at(&mut self, t_us: u64) {
+        self.scrapes += 1;
+        self.last_scrape_us = Some(t_us);
+        let capacity = self.capacity;
+        for (name, &value) in &self.gauges {
+            self.series
+                .entry(name.clone())
+                .or_insert_with(|| Series::new(SeriesKind::Gauge, capacity))
+                .push(t_us, value);
+        }
+        for (name, &total) in &self.counters {
+            self.series
+                .entry(name.clone())
+                .or_insert_with(|| Series::new(SeriesKind::Counter, capacity))
+                .push(t_us, SampleValue::U64(total));
+        }
+        for (name, window) in &mut self.windows {
+            window.trim(t_us);
+            let summary = window.summary();
+            for (suffix, v) in [
+                ("p50", summary.p50),
+                ("p99", summary.p99),
+                ("p999", summary.p999),
+                ("count", summary.count),
+            ] {
+                self.series
+                    .entry(format!("{name}.{suffix}"))
+                    .or_insert_with(|| Series::new(SeriesKind::Gauge, capacity))
+                    .push(t_us, SampleValue::U64(v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut s = Series::new(SeriesKind::Gauge, 3);
+        for i in 0..5u64 {
+            s.push(i, SampleValue::U64(i * 10));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let ts: Vec<u64> = s.iter().map(|x| x.t_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        assert_eq!(s.last().map(|x| x.t_us), Some(4));
+    }
+
+    #[test]
+    fn cadence_boundaries_are_exact_multiples() {
+        let mut r = MetricsRegistry::new(10, 16);
+        r.set_gauge("g", 7u64);
+        assert!(!r.due(9));
+        assert!(r.due(10));
+        r.advance(35); // boundaries 10, 20, 30
+        let g = &r.series()["g"];
+        let ts: Vec<u64> = g.iter().map(|x| x.t_us).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(r.scrapes(), 3);
+    }
+
+    #[test]
+    fn counters_sample_cumulative_totals() {
+        let mut r = MetricsRegistry::new(10, 16);
+        r.incr("c", 2);
+        r.advance(10);
+        r.incr("c", 3);
+        r.advance(20);
+        let vals: Vec<SampleValue> = r.series()["c"].iter().map(|x| x.value).collect();
+        assert_eq!(vals, vec![SampleValue::U64(2), SampleValue::U64(5)]);
+        assert_eq!(r.series()["c"].kind(), SeriesKind::Counter);
+    }
+
+    #[test]
+    fn observations_record_immediately_and_scrape_percentiles() {
+        let mut r = MetricsRegistry::new(10, 16);
+        for (t, v) in [(1, 100), (2, 200), (3, 300)] {
+            r.observe("sojourn", t, v);
+        }
+        assert_eq!(r.series()["sojourn"].len(), 3);
+        r.advance(10);
+        assert_eq!(
+            r.series()["sojourn.p50"].last().map(|s| s.value),
+            Some(SampleValue::U64(200))
+        );
+        assert_eq!(
+            r.series()["sojourn.count"].last().map(|s| s.value),
+            Some(SampleValue::U64(3))
+        );
+    }
+
+    #[test]
+    fn finish_emits_end_state_once() {
+        let mut r = MetricsRegistry::new(10, 16);
+        r.set_gauge("g", 1u64);
+        r.finish(25);
+        let ts: Vec<u64> = r.series()["g"].iter().map(|x| x.t_us).collect();
+        assert_eq!(ts, vec![10, 20, 25]);
+        // Finishing exactly on a boundary does not double-sample.
+        let mut r2 = MetricsRegistry::new(10, 16);
+        r2.set_gauge("g", 1u64);
+        r2.finish(20);
+        let ts2: Vec<u64> = r2.series()["g"].iter().map(|x| x.t_us).collect();
+        assert_eq!(ts2, vec![10, 20]);
+    }
+
+    #[test]
+    fn same_inputs_same_registry() {
+        let build = || {
+            let mut r = MetricsRegistry::new(7, 8);
+            r.set_gauge("q", 3u64);
+            r.incr("n", 4);
+            r.observe("lat", 5, 50);
+            r.finish(29);
+            r
+        };
+        assert_eq!(build(), build());
+    }
+}

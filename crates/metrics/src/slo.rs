@@ -1,0 +1,193 @@
+//! Service-level-objective accounting: error-budget burn rate over an
+//! observation stream.
+//!
+//! A target declares "at least `target_milli`/1000 of observations must
+//! be at or under `objective_us`". The error budget is the tolerated
+//! violation fraction (`1 − target`); the burn rate is the observed
+//! violation fraction divided by that budget. Burn 1.0 means the run
+//! consumed exactly its budget; above 1.0 the objective is missed.
+//! Compliance is decided in pure integer arithmetic so the verdict is
+//! never at the mercy of float rounding.
+
+use adapt_telemetry::Value;
+
+/// A declared objective over one observation series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloTarget {
+    /// Observation series the target governs (e.g. `job_sojourn_us`).
+    pub series: String,
+    /// Objective threshold: an observation above this violates.
+    pub objective_us: u64,
+    /// Required compliant fraction in thousandths (990 ⇒ 99.0%).
+    pub target_milli: u32,
+}
+
+impl SloTarget {
+    /// A p99-style target: `target_milli` = 990 declares a p99
+    /// objective over the series.
+    pub fn new(series: &str, objective_us: u64, target_milli: u32) -> Self {
+        SloTarget {
+            series: series.to_string(),
+            objective_us,
+            target_milli: target_milli.min(1000),
+        }
+    }
+
+    /// The tolerated violation fraction in thousandths.
+    pub fn budget_milli(&self) -> u32 {
+        1000 - self.target_milli
+    }
+}
+
+/// Error-budget verdict over a set of observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Observations evaluated.
+    pub total: u64,
+    /// Observations above the objective.
+    pub violations: u64,
+    /// Violation fraction divided by the budget fraction (0 when the
+    /// stream is empty; infinite when the budget is zero and any
+    /// observation violates).
+    pub burn_rate: f64,
+    /// `violations/total ≤ budget`, decided in integer arithmetic.
+    pub compliant: bool,
+}
+
+impl SloReport {
+    /// JSON form (used by the `metrics slo` subcommand).
+    pub fn to_value(&self, target: &SloTarget) -> Value {
+        let mut v = Value::object();
+        v.insert("series", target.series.as_str());
+        v.insert("objective_us", target.objective_us);
+        v.insert("target_milli", target.target_milli as u64);
+        v.insert("total", self.total);
+        v.insert("violations", self.violations);
+        v.insert("burn_rate", self.burn_rate);
+        v.insert("compliant", self.compliant);
+        v
+    }
+}
+
+/// Evaluates `target` over raw observations.
+pub fn evaluate(observations: impl IntoIterator<Item = u64>, target: &SloTarget) -> SloReport {
+    let mut total = 0u64;
+    let mut violations = 0u64;
+    for obs in observations {
+        total += 1;
+        if obs > target.objective_us {
+            violations += 1;
+        }
+    }
+    report(total, violations, target)
+}
+
+/// Evaluates `target` over tumbling windows of `window_us`, returning
+/// `(window_end_us, report)` per non-empty window — the burn-over-time
+/// view the dashboard plots.
+pub fn evaluate_windows(
+    observations: &[(u64, u64)],
+    target: &SloTarget,
+    window_us: u64,
+) -> Vec<(u64, SloReport)> {
+    let window_us = window_us.max(1);
+    let mut out: Vec<(u64, SloReport)> = Vec::new();
+    let mut window_end = window_us;
+    let mut total = 0u64;
+    let mut violations = 0u64;
+    for &(t, v) in observations {
+        while t >= window_end {
+            if total > 0 {
+                out.push((window_end, report(total, violations, target)));
+            }
+            total = 0;
+            violations = 0;
+            window_end = window_end.saturating_add(window_us);
+        }
+        total += 1;
+        if v > target.objective_us {
+            violations += 1;
+        }
+    }
+    if total > 0 {
+        out.push((window_end, report(total, violations, target)));
+    }
+    out
+}
+
+fn report(total: u64, violations: u64, target: &SloTarget) -> SloReport {
+    let budget_milli = target.budget_milli() as u64;
+    // compliant ⇔ violations/total ≤ budget_milli/1000, cross-multiplied.
+    let compliant = violations * 1000 <= budget_milli * total;
+    let burn_rate = if total == 0 {
+        0.0
+    } else if budget_milli == 0 {
+        if violations == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (violations as f64 * 1000.0) / (budget_milli as f64 * total as f64)
+    };
+    SloReport {
+        total,
+        violations,
+        burn_rate,
+        compliant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_rate_is_violation_fraction_over_budget() {
+        let target = SloTarget::new("lat", 100, 990); // 1% budget
+                                                      // 2 violations in 100 obs = 2% bad = burn 2.0.
+        let obs = (0..98).map(|_| 50).chain([150, 150]);
+        let r = evaluate(obs, &target);
+        assert_eq!(r.total, 100);
+        assert_eq!(r.violations, 2);
+        assert!((r.burn_rate - 2.0).abs() < 1e-12);
+        assert!(!r.compliant);
+    }
+
+    #[test]
+    fn exact_budget_is_compliant() {
+        let target = SloTarget::new("lat", 100, 990);
+        let obs = (0..999).map(|_| 50).chain([150]); // 0.1% bad < 1%
+        let r = evaluate(obs, &target);
+        assert!(r.compliant);
+        assert!(r.burn_rate < 1.0);
+    }
+
+    #[test]
+    fn empty_and_zero_budget_edge_cases() {
+        let target = SloTarget::new("lat", 100, 990);
+        let r = evaluate([], &target);
+        assert_eq!(r.total, 0);
+        assert!(r.compliant);
+        let strict = SloTarget::new("lat", 100, 1000); // zero budget
+        let r = evaluate([150], &strict);
+        assert!(!r.compliant);
+        assert!(r.burn_rate.is_infinite());
+        let r = evaluate([50], &strict);
+        assert!(r.compliant);
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_stream() {
+        let target = SloTarget::new("lat", 100, 500); // 50% budget
+        let obs = [(5, 200), (8, 50), (25, 200), (26, 200)];
+        let windows = evaluate_windows(&obs, &target, 10);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].0, 10);
+        assert_eq!(windows[0].1.violations, 1);
+        assert!(windows[0].1.compliant);
+        assert_eq!(windows[1].0, 30);
+        assert_eq!(windows[1].1.violations, 2);
+        assert!(!windows[1].1.compliant);
+    }
+}

@@ -1,0 +1,130 @@
+//! Sliding-window aggregation over integer observations.
+//!
+//! Percentiles are nearest-rank over a sorted copy of the window's
+//! values. Observations are `u64` (microseconds, counts), so ordering is
+//! total and the float-sort determinism rules never come into play.
+
+use std::collections::VecDeque;
+
+/// Nearest-rank percentile summary of a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowSummary {
+    /// Observations in the window.
+    pub count: u64,
+    /// 50th percentile (0 when empty).
+    pub p50: u64,
+    /// 99th percentile (0 when empty).
+    pub p99: u64,
+    /// 99.9th percentile (0 when empty).
+    pub p999: u64,
+    /// Maximum (0 when empty).
+    pub max: u64,
+}
+
+/// A time-bounded window of `(t_us, value)` observations: `push` appends,
+/// `trim` drops everything older than the window span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlidingWindow {
+    window_us: u64,
+    samples: VecDeque<(u64, u64)>,
+}
+
+impl SlidingWindow {
+    /// A window spanning `window_us` of simulated time (min 1).
+    pub fn new(window_us: u64) -> Self {
+        SlidingWindow {
+            window_us: window_us.max(1),
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Appends an observation. Timestamps arrive in event order, which
+    /// the engines guarantee is non-decreasing.
+    pub fn push(&mut self, t_us: u64, value: u64) {
+        self.samples.push_back((t_us, value));
+    }
+
+    /// Drops observations older than `now_us − window`.
+    pub fn trim(&mut self, now_us: u64) {
+        let cutoff = now_us.saturating_sub(self.window_us);
+        while let Some(&(t, _)) = self.samples.front() {
+            if t >= cutoff {
+                break;
+            }
+            self.samples.pop_front();
+        }
+    }
+
+    /// Observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentiles of the current window.
+    pub fn summary(&self) -> WindowSummary {
+        let mut values: Vec<u64> = self.samples.iter().map(|&(_, v)| v).collect();
+        if values.is_empty() {
+            return WindowSummary::default();
+        }
+        values.sort_unstable();
+        let max = values.last().copied().unwrap_or(0);
+        WindowSummary {
+            count: values.len() as u64,
+            p50: nearest_rank(&values, 1, 2),
+            p99: nearest_rank(&values, 99, 100),
+            p999: nearest_rank(&values, 999, 1000),
+            max,
+        }
+    }
+}
+
+/// Nearest-rank percentile `num/den` of ascending `sorted` values:
+/// rank `⌈n·q⌉` (1-based), entirely in integer arithmetic.
+pub fn nearest_rank(sorted: &[u64], num: u64, den: u64) -> u64 {
+    let n = sorted.len() as u64;
+    if n == 0 || den == 0 {
+        return 0;
+    }
+    let rank = (n * num).div_ceil(den).clamp(1, n);
+    sorted.get((rank - 1) as usize).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&v, 1, 2), 50);
+        assert_eq!(nearest_rank(&v, 99, 100), 99);
+        assert_eq!(nearest_rank(&v, 999, 1000), 100);
+        assert_eq!(nearest_rank(&[42], 1, 2), 42);
+        assert_eq!(nearest_rank(&[], 1, 2), 0);
+    }
+
+    #[test]
+    fn trim_respects_window_span() {
+        let mut w = SlidingWindow::new(10);
+        w.push(0, 1);
+        w.push(5, 2);
+        w.push(14, 3);
+        w.trim(15); // cutoff 5: drops t=0 only
+        assert_eq!(w.len(), 2);
+        let s = w.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3);
+    }
+
+    #[test]
+    fn empty_window_summarizes_to_zeros() {
+        let w = SlidingWindow::new(10);
+        assert!(w.is_empty());
+        assert_eq!(w.summary(), WindowSummary::default());
+    }
+}

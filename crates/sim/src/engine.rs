@@ -41,6 +41,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use adapt_dfs::{BlockSize, NodeId};
+use adapt_metrics::{MetricsHub, MetricsRegistry, WorkCounts};
 use adapt_trace::{KillCause, Trace, TraceEvent, TraceMeta, TraceRecorder};
 
 use crate::event::EventQueue;
@@ -395,6 +396,25 @@ enum Event {
     Requeue(usize),
 }
 
+impl Event {
+    /// Profiler span name for this event family.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Kick => "kick",
+            Event::Down(_) => "down",
+            Event::Up(_) => "up",
+            Event::AttemptDone { .. } => "attempt_done",
+            Event::Requeue(_) => "requeue",
+        }
+    }
+}
+
+/// Simulated seconds → integer microseconds (the timestamp unit of the
+/// metrics layer, matching `adapt-trace`'s conversion).
+pub(crate) fn sim_us(secs: f64) -> u64 {
+    (secs * 1e6).round() as u64
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Attempt {
     task: usize,
@@ -702,7 +722,33 @@ impl MapPhaseSim {
     /// # Errors
     ///
     /// Same as [`run`](MapPhaseSim::run).
-    pub fn run_detailed(mut self, seed: u64) -> Result<DetailedReport, SimError> {
+    pub fn run_detailed(self, seed: u64) -> Result<DetailedReport, SimError> {
+        self.run_detailed_inner(seed, None)
+    }
+
+    /// Like [`run_detailed`](MapPhaseSim::run_detailed), with a metrics
+    /// hub attached: engine-state gauges are scraped on the hub
+    /// registry's sim-time cadence, and per-event work (events, queue
+    /// operations, simulated time) is attributed to profiler spans by
+    /// event family. Simulation behavior and the returned report are
+    /// byte-identical with or without metrics — only the hub differs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_detailed`](MapPhaseSim::run_detailed).
+    pub fn run_detailed_metrics(
+        self,
+        seed: u64,
+        hub: &mut MetricsHub,
+    ) -> Result<DetailedReport, SimError> {
+        self.run_detailed_inner(seed, Some(hub))
+    }
+
+    fn run_detailed_inner(
+        mut self,
+        seed: u64,
+        mut metrics: Option<&mut MetricsHub>,
+    ) -> Result<DetailedReport, SimError> {
         // Per-node RNG streams: each node's interruption randomness is a
         // pure function of (seed, node id), independent of scheduling
         // order. Two runs over the same cluster and seed but different
@@ -740,10 +786,25 @@ impl MapPhaseSim {
                 t >= last_event_time,
                 "event queue released t={t} after t={last_event_time}"
             );
+            let prev_event_time = last_event_time;
             last_event_time = t;
             if t > self.cfg.horizon {
                 break;
             }
+            // Metrics scrape precedes the event: a cadence boundary in
+            // the gap (prev, t] samples the state that actually held
+            // across that gap.
+            let queue_len_before = if let Some(hub) = metrics.as_deref_mut() {
+                let t_us = sim_us(t);
+                if hub.registry.due(t_us) {
+                    self.scrape_engine_gauges(&mut hub.registry);
+                    hub.registry.advance(t_us);
+                }
+                hub.profiler.enter(event.kind_name());
+                self.queue.len()
+            } else {
+                0
+            };
             match event {
                 Event::Kick => {
                     self.telemetry.events_kick.incr();
@@ -765,7 +826,6 @@ impl MapPhaseSim {
                         self.on_attempt_done(node, t)?;
                         if self.done_count == self.tasks.len() {
                             elapsed = Some(t);
-                            break;
                         }
                     }
                 }
@@ -775,11 +835,57 @@ impl MapPhaseSim {
                     self.dispatch_idle(t, &[task])?;
                 }
             }
+            if let Some(hub) = metrics.as_deref_mut() {
+                // Handler heap traffic: one pop plus however many pushes
+                // grew the queue (len_after = len_before − 1 + pushes).
+                let pushes = (self.queue.len() + 1).saturating_sub(queue_len_before) as u64;
+                hub.profiler.add(WorkCounts {
+                    events: 1,
+                    heap_ops: pushes + 1,
+                    placements: 0,
+                    sim_us: sim_us(t).saturating_sub(sim_us(prev_event_time)),
+                });
+                hub.profiler.exit();
+            }
+            if elapsed.is_some() {
+                break;
+            }
         }
 
         let completed = elapsed.is_some();
         let elapsed = elapsed.unwrap_or(self.cfg.horizon);
+        if let Some(hub) = metrics {
+            // Seal the series: emit any cadence boundaries still due,
+            // then an end-of-run sample of the final state.
+            self.scrape_engine_gauges(&mut hub.registry);
+            hub.finish(sim_us(elapsed));
+        }
         Ok(self.finalize(elapsed, completed, seed))
+    }
+
+    /// Refreshes the engine-state gauges ahead of a due scrape. Only
+    /// called when a metrics hub is attached *and* a cadence boundary
+    /// passed, so disabled runs never touch a registry map.
+    fn scrape_engine_gauges(&self, registry: &mut MetricsRegistry) {
+        registry.set_gauge("engine.queue_depth", self.queue.len());
+        registry.set_gauge("engine.pending_tasks", self.pending.len());
+        registry.set_gauge("engine.stealable_tasks", self.stealable.len());
+        registry.set_gauge("engine.spec_candidates", self.spec_candidates.len());
+        registry.set_gauge("engine.idle_nodes", self.idle.len());
+        registry.set_gauge("engine.done_tasks", self.done_count);
+        registry.set_gauge(
+            "engine.up_nodes",
+            self.nodes.iter().filter(|n| n.up).count(),
+        );
+        registry.set_gauge(
+            "engine.running_attempts",
+            self.nodes.iter().filter(|n| n.running.is_some()).count(),
+        );
+        registry.set_gauge("engine.attempts", self.attempts);
+        registry.set_gauge("engine.transfers", self.transfers);
+        registry.set_gauge("engine.rework_us", sim_us(self.rework));
+        registry.set_gauge("engine.migration_us", sim_us(self.migration));
+        registry.set_gauge("engine.dup_compute_us", sim_us(self.dup_compute));
     }
 
     // ------------------------------------------------------------------
@@ -1599,6 +1705,45 @@ mod tests {
         assert_eq!(report.locality(), 1.0);
         assert_eq!(report.transfers, 0);
         assert!((report.elapsed - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_run_leaves_report_identical_and_hub_deterministic() {
+        // Volatile node 0 so the run crosses several scrape boundaries
+        // with outage/requeue traffic, not just a straight drain.
+        let build = || {
+            let mut processes = vec![InterruptionProcess::synthetic(
+                20.0,
+                Dist::exponential_from_mean(10.0).unwrap(),
+            )];
+            processes.push(InterruptionProcess::none());
+            MapPhaseSim::new(processes, single_replica(&[0, 1, 0, 1, 0, 1]), cfg()).unwrap()
+        };
+        let plain = build().run_detailed(9).unwrap();
+        let mut hub = adapt_metrics::MetricsHub::new(10_000_000);
+        let with_metrics = build().run_detailed_metrics(9, &mut hub).unwrap();
+        // Zero-overhead-when-off contract, from the metrics side: the
+        // hub changes nothing observable about the run.
+        assert_eq!(plain, with_metrics);
+        // The hub itself is a pure function of (scenario, seed).
+        let mut hub2 = adapt_metrics::MetricsHub::new(10_000_000);
+        build().run_detailed_metrics(9, &mut hub2).unwrap();
+        assert_eq!(
+            hub.to_jsonl("engine-test", 2, 9),
+            hub2.to_jsonl("engine-test", 2, 9)
+        );
+        // Gauges were scraped on the sim-time cadence and sealed at the
+        // end of the run; per-event work landed in profiler spans.
+        let done = &hub.registry.series()["engine.done_tasks"];
+        assert!(done.len() >= 2, "expected cadence + final scrapes");
+        assert_eq!(
+            done.last().map(|s| s.value),
+            Some(adapt_metrics::SampleValue::U64(6))
+        );
+        let spans = hub.profiler.to_spans();
+        assert!(spans.iter().any(|s| s.path == "run;attempt_done"));
+        let total_events: u64 = spans.iter().map(|s| s.counts.events).sum();
+        assert!(total_events > 0);
     }
 
     #[test]

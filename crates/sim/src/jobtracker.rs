@@ -46,7 +46,9 @@ use adapt_telemetry::Value;
 use adapt_trace::{Trace, TraceEvent, TraceMeta, TraceRecorder};
 use adapt_workload::JobSpec;
 
-use crate::engine::{DetailedReport, MapPhaseSim, SimConfig};
+use adapt_metrics::{MetricsHub, MetricsRegistry, WorkCounts};
+
+use crate::engine::{sim_us, DetailedReport, MapPhaseSim, SimConfig};
 use crate::event::EventQueue;
 use crate::interrupt::InterruptionProcess;
 use crate::SimError;
@@ -418,6 +420,26 @@ pub struct JobStreamOutcome {
     pub trace: Option<Trace>,
 }
 
+/// Refreshes the tracker-state gauges ahead of a due scrape. Only called
+/// when a hub is attached *and* a cadence boundary passed.
+fn scrape_tracker_gauges(
+    registry: &mut MetricsRegistry,
+    pending: &[u32],
+    free_count: usize,
+    n: usize,
+    running: &[Option<RunningJob>],
+    admitted: usize,
+) {
+    registry.set_gauge("tracker.pending_jobs", pending.len());
+    registry.set_gauge("tracker.free_nodes", free_count);
+    registry.set_gauge("tracker.busy_nodes", n.saturating_sub(free_count));
+    registry.set_gauge(
+        "tracker.running_jobs",
+        running.iter().filter(|r| r.is_some()).count(),
+    );
+    registry.set_gauge("tracker.admitted_jobs", admitted);
+}
+
 /// The stream-level event vocabulary; payloads index into the job list.
 #[derive(Debug, Clone, Copy)]
 enum StreamEvent {
@@ -529,6 +551,40 @@ impl JobTracker {
         placer: &mut dyn JobPlacer,
         traced: bool,
     ) -> Result<JobStreamOutcome, SimError> {
+        self.run_with_inner(jobs, seed, engine, placer, traced, None)
+    }
+
+    /// Like [`run_with`](JobTracker::run_with), with a metrics hub
+    /// attached: admission/slot gauges are scraped on the hub registry's
+    /// sim-time cadence, every released job records a sojourn
+    /// observation (the raw stream `metrics slo` judges), and stream
+    /// events land in profiler spans. The returned outcome is
+    /// byte-identical with or without the hub.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with`](JobTracker::run_with).
+    pub fn run_with_metrics(
+        &self,
+        jobs: &[JobSpec],
+        seed: u64,
+        engine: &dyn MapEngine,
+        placer: &mut dyn JobPlacer,
+        traced: bool,
+        hub: &mut MetricsHub,
+    ) -> Result<JobStreamOutcome, SimError> {
+        self.run_with_inner(jobs, seed, engine, placer, traced, Some(hub))
+    }
+
+    fn run_with_inner(
+        &self,
+        jobs: &[JobSpec],
+        seed: u64,
+        engine: &dyn MapEngine,
+        placer: &mut dyn JobPlacer,
+        traced: bool,
+        mut metrics: Option<&mut MetricsHub>,
+    ) -> Result<JobStreamOutcome, SimError> {
         Self::validate_jobs(jobs)?;
         let n = self.processes.len();
         let mut queue: EventQueue<StreamEvent> = EventQueue::with_capacity(jobs.len() * 2);
@@ -553,7 +609,30 @@ impl JobTracker {
         let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
         let mut makespan = 0.0f64;
 
+        let mut last_event_time = 0.0f64;
         while let Some((t, ev)) = queue.pop() {
+            let prev_event_time = last_event_time;
+            last_event_time = t;
+            // Scrape before the event: boundaries in (prev, t] sample
+            // the admission state that held across the gap.
+            if let Some(hub) = metrics.as_deref_mut() {
+                let t_us = sim_us(t);
+                if hub.registry.due(t_us) {
+                    scrape_tracker_gauges(
+                        &mut hub.registry,
+                        &pending,
+                        free_count,
+                        n,
+                        &running,
+                        records.len(),
+                    );
+                    hub.registry.advance(t_us);
+                }
+                hub.profiler.enter(match ev {
+                    StreamEvent::Arrive(_) => "arrive",
+                    StreamEvent::Finish(_) => "finish",
+                });
+            }
             match ev {
                 StreamEvent::Arrive(id) => {
                     if let Some(rec) = recorder.as_mut() {
@@ -592,9 +671,20 @@ impl JobTracker {
                             t,
                         });
                     }
+                    if let Some(hub) = metrics.as_deref_mut() {
+                        if let Some(rec) = records.get(run.record) {
+                            let t_us = sim_us(t);
+                            hub.registry
+                                .observe("job_sojourn_us", t_us, sim_us(rec.sojourn()));
+                            hub.registry
+                                .observe("job_wait_us", t_us, sim_us(rec.wait()));
+                            hub.registry.incr("tracker.jobs_finished", 1);
+                        }
+                    }
                     makespan = makespan.max(t);
                 }
             }
+            let records_before_admit = records.len();
             self.admit(
                 t,
                 seed,
@@ -613,6 +703,52 @@ impl JobTracker {
                 &mut recorder,
                 &mut telemetry,
             )?;
+            if let Some(hub) = metrics.as_deref_mut() {
+                // Each admission in this pass ran one placement plus one
+                // whole engine run; attribute its event work here so the
+                // stream profile shows where simulation effort went.
+                let admitted = records.len().saturating_sub(records_before_admit);
+                let engine_events: u64 = records[records_before_admit..]
+                    .iter()
+                    .map(|r| {
+                        r.detailed.telemetry.events_kick
+                            + r.detailed.telemetry.events_down
+                            + r.detailed.telemetry.events_up
+                            + r.detailed.telemetry.events_attempt_done
+                            + r.detailed.telemetry.events_requeue
+                    })
+                    .sum();
+                if admitted > 0 {
+                    hub.profiler.enter("admit");
+                    hub.profiler.add(WorkCounts {
+                        events: engine_events,
+                        heap_ops: 0,
+                        placements: admitted as u64,
+                        sim_us: 0,
+                    });
+                    hub.profiler.exit();
+                    hub.registry.incr("tracker.jobs_admitted", admitted as u64);
+                }
+                hub.profiler.add(WorkCounts {
+                    events: 1,
+                    heap_ops: 2,
+                    placements: 0,
+                    sim_us: sim_us(t).saturating_sub(sim_us(prev_event_time)),
+                });
+                hub.profiler.exit();
+            }
+        }
+
+        if let Some(hub) = metrics {
+            scrape_tracker_gauges(
+                &mut hub.registry,
+                &pending,
+                free_count,
+                n,
+                &running,
+                records.len(),
+            );
+            hub.finish(sim_us(makespan));
         }
 
         let total_tasks: usize = jobs.iter().map(|j| j.tasks).sum();
@@ -850,6 +986,50 @@ mod tests {
         assert!(r.completed());
         assert_eq!(out.telemetry.jobs_completed, 1);
         assert_eq!(out.telemetry.busy_nodes_hwm, 2);
+    }
+
+    #[test]
+    fn metrics_stream_leaves_outcome_identical_and_records_sojourns() {
+        let tracker = JobTracker::new(reliable(2), cfg(SchedPolicy::Fifo)).unwrap();
+        let jobs = vec![job(0, 0.0, 4, 0), job(1, 1.0, 2, 0)];
+        let plain = tracker.run(&jobs, 7).unwrap();
+        let mut placer = StripedPlacer::new(1).unwrap();
+        let mut hub = adapt_metrics::MetricsHub::new(10_000_000);
+        let with_metrics = tracker
+            .run_with_metrics(&jobs, 7, &OptimizedEngine, &mut placer, false, &mut hub)
+            .unwrap();
+        // Zero-overhead-when-off contract from the metrics side.
+        assert_eq!(plain, with_metrics);
+        // One raw sojourn observation per released job, in µs.
+        let sojourns = &hub.registry.series()["job_sojourn_us"];
+        assert_eq!(sojourns.len(), 2);
+        let expected: Vec<u64> = with_metrics
+            .records
+            .iter()
+            .map(|r| sim_us(r.sojourn()))
+            .collect();
+        let mut got: Vec<u64> = sojourns
+            .iter()
+            .filter_map(|s| match s.value {
+                adapt_metrics::SampleValue::U64(v) => Some(v),
+                adapt_metrics::SampleValue::F64(_) => None,
+            })
+            .collect();
+        got.sort_unstable();
+        let mut expected = expected;
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        // Admission profiling: both jobs placed, stream events spanned.
+        let spans = hub.profiler.to_spans();
+        let placements: u64 = spans.iter().map(|s| s.counts.placements).sum();
+        assert_eq!(placements, 2);
+        // Determinism: same stream, same bytes.
+        let mut placer2 = StripedPlacer::new(1).unwrap();
+        let mut hub2 = adapt_metrics::MetricsHub::new(10_000_000);
+        tracker
+            .run_with_metrics(&jobs, 7, &OptimizedEngine, &mut placer2, false, &mut hub2)
+            .unwrap();
+        assert_eq!(hub.to_jsonl("t", 2, 7), hub2.to_jsonl("t", 2, 7));
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! Minimal deterministic JSON model and serializer.
+//! Minimal deterministic JSON model, serializer, and parser.
 //!
 //! Object keys live in a `BTreeMap` and are always emitted in sorted
 //! order; numbers use Rust's shortest-roundtrip `Display`; strings are
 //! escaped per RFC 8259. There are no serializer options, so the byte
 //! output of [`Value::to_json`] is a pure function of the value — the
 //! property the CI regression gate depends on.
+//!
+//! [`parse_value`] is the inverse: the one hand-rolled JSON reader in
+//! the workspace (traces, bench reports, and metrics series all go
+//! through it), lossless for 64-bit integers and shortest-roundtrip
+//! floats so `parse(serialize(v)) == v` bit-for-bit.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -206,6 +211,211 @@ impl From<Vec<Value>> for Value {
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON parsing (recursive descent over one document)
+// ---------------------------------------------------------------------
+
+/// Parses a single JSON value. Integer tokens without `.`/`e` parse as
+/// `U64`/`I64` so 64-bit seeds survive exactly (no `f64` round-trip).
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input or trailing data.
+pub fn parse_value(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing data at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected `{want}`, found `{c}`")),
+            None => Err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> Result<(), String> {
+        for want in word.chars() {
+            match self.bump() {
+                Some(c) if c == want => {}
+                _ => return Err(format!("invalid literal (expected `{word}`)")),
+            }
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some('f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some('n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected character `{c}`")),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.consume('{')?;
+        let mut v = Value::object();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(v);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.consume(':')?;
+            let val = self.value()?;
+            v.insert(&key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(v),
+                Some(c) => return Err(format!("expected `,` or `}}` in object, found `{c}`")),
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.consume('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Array(items)),
+                Some(c) => return Err(format!("expected `,` or `]` in array, found `{c}`")),
+                None => return Err("unterminated array".into()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("invalid \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        // Workspace artifacts only ever contain ASCII
+                        // strings; reject surrogate halves rather than
+                        // pairing them.
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err("invalid escape".into()),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| format!("bad integer `{text}`: {e}"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| format!("bad integer `{text}`: {e}"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +440,36 @@ mod tests {
         assert_eq!(Value::F64(f64::NAN).to_json(), "null");
         assert_eq!(Value::F64(f64::INFINITY).to_json(), "null");
         assert_eq!(Value::F64(1.5).to_json(), "1.5");
+    }
+
+    #[test]
+    fn parser_handles_nested_and_escaped_json() {
+        let v = parse_value(r#"{"a":[1,-2,3.5,null,true],"b":"x\n\"yA"}"#).unwrap();
+        assert_eq!(v.get("b"), Some(&Value::Str("x\n\"yA".into())));
+        assert_eq!(
+            v.get("a"),
+            Some(&Value::Array(vec![
+                Value::U64(1),
+                Value::I64(-2),
+                Value::F64(3.5),
+                Value::Null,
+                Value::Bool(true),
+            ]))
+        );
+        assert!(parse_value("{\"a\":1} extra").is_err());
+        assert!(parse_value("{\"a\"").is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let mut v = Value::object();
+        v.insert("seed", u64::MAX - 3);
+        v.insert("neg", -42i64);
+        v.insert("t", 0.1f64 + 0.2f64); // famously not 0.3
+        v.insert("s", "a\"b\\c\n");
+        let back = parse_value(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(parse_value(&v.to_json_pretty()).unwrap(), v);
     }
 
     #[test]

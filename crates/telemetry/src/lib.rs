@@ -13,7 +13,9 @@
 //!   deterministic: object keys are stored in a `BTreeMap` and emitted in
 //!   sorted order, numbers use Rust's shortest-roundtrip formatting, and
 //!   there is no configuration that could change byte output between
-//!   runs.
+//!   runs — plus the matching lossless parser ([`parse_value`]) every
+//!   artifact reader in the workspace (traces, bench reports, metrics
+//!   series) shares, so there is one JSON implementation to audit.
 //! - [`report`] — [`RunReport`], the top-level document experiment
 //!   binaries write via `--report-json`. Reports carry *simulated* time
 //!   and counters only; no wall-clock timestamps, hostnames, paths, or
@@ -41,6 +43,6 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 
-pub use json::Value;
+pub use json::{parse_value, Value};
 pub use metrics::{Counter, HighWater, Histogram, HistogramSnapshot, SecondsAccum};
 pub use report::RunReport;
