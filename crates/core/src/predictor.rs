@@ -208,6 +208,7 @@ mod tests {
                     alive,
                     stored_blocks: 0,
                     capacity_blocks: None,
+                    rack: 0,
                 })
                 .collect(),
         )

@@ -68,6 +68,7 @@ mod tests {
                     alive: !dead.contains(&i),
                     stored_blocks: 0,
                     capacity_blocks: None,
+                    rack: 0,
                 })
                 .collect(),
         )

@@ -114,14 +114,16 @@ impl Default for NodeAvailability {
 pub struct NodeSpec {
     availability: NodeAvailability,
     capacity_blocks: Option<usize>,
+    rack: u32,
 }
 
 impl NodeSpec {
-    /// Creates a node with unlimited storage capacity.
+    /// Creates a node with unlimited storage capacity in rack 0.
     pub fn new(availability: NodeAvailability) -> Self {
         NodeSpec {
             availability,
             capacity_blocks: None,
+            rack: 0,
         }
     }
 
@@ -130,6 +132,20 @@ impl NodeSpec {
     pub fn with_capacity(mut self, blocks: usize) -> Self {
         self.capacity_blocks = Some(blocks);
         self
+    }
+
+    /// Places the node in `rack` (default 0 — the single-rack / flat
+    /// network). Rack labels feed rack-aware placement and the
+    /// topology-aware transfer model; under the whole-pipeline
+    /// convention they equal `node_id mod racks`.
+    pub fn with_rack(mut self, rack: u32) -> Self {
+        self.rack = rack;
+        self
+    }
+
+    /// The rack holding this node.
+    pub fn rack(&self) -> u32 {
+        self.rack
     }
 
     /// The node's interruption parameters.
@@ -214,7 +230,15 @@ mod tests {
         let s = NodeSpec::default().with_capacity(80);
         assert_eq!(s.capacity_blocks(), Some(80));
         assert!(s.availability().is_reliable());
+        assert_eq!(s.rack(), 0);
         let s2 = NodeSpec::new(NodeAvailability::from_mtbi(10.0, 4.0).unwrap());
         assert_eq!(s2.capacity_blocks(), None);
+    }
+
+    #[test]
+    fn node_spec_rack_builder() {
+        let s = NodeSpec::default().with_rack(3);
+        assert_eq!(s.rack(), 3);
+        assert_eq!(s.capacity_blocks(), None);
     }
 }

@@ -286,6 +286,7 @@ impl NameNode {
                     alive: n.alive,
                     stored_blocks: n.stored.len(),
                     capacity_blocks: n.spec.capacity_blocks(),
+                    rack: n.spec.rack(),
                 })
                 .collect(),
         )

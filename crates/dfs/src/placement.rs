@@ -28,6 +28,8 @@ pub struct NodeView {
     pub stored_blocks: usize,
     /// Storage capacity in blocks, if limited.
     pub capacity_blocks: Option<usize>,
+    /// The rack holding the node (0 on flat, single-rack clusters).
+    pub rack: u32,
 }
 
 /// A read-only snapshot of the cluster taken at the start of a placement
@@ -66,6 +68,26 @@ impl ClusterView {
     /// Number of alive nodes.
     pub fn alive_count(&self) -> usize {
         self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// The rack of `id`, or 0 for an unknown node (the flat default, so
+    /// single-rack callers never need to care).
+    pub fn rack_of(&self, id: NodeId) -> u32 {
+        self.node(id).map_or(0, |n| n.rack)
+    }
+
+    /// Whether two nodes share a rack (unknown nodes default to rack 0).
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.rack_of(a) == self.rack_of(b)
+    }
+
+    /// Number of distinct rack labels present in the view (1 for an
+    /// unlabeled, flat cluster; 0 for an empty view).
+    pub fn rack_count(&self) -> usize {
+        let mut racks: Vec<u32> = self.nodes.iter().map(|n| n.rack).collect();
+        racks.sort_unstable();
+        racks.dedup();
+        racks.len()
     }
 }
 
@@ -134,6 +156,7 @@ pub(crate) fn uniform_index(rng: &mut dyn Rng, n: usize) -> usize {
 ///             alive: true,
 ///             stored_blocks: 0,
 ///             capacity_blocks: None,
+///             rack: 0,
 ///         })
 ///         .collect(),
 /// );
@@ -192,6 +215,7 @@ mod tests {
                     alive: true,
                     stored_blocks: 0,
                     capacity_blocks: None,
+                    rack: 0,
                 })
                 .collect(),
         )
@@ -205,6 +229,27 @@ mod tests {
         assert_eq!(v.alive_count(), 4);
         assert_eq!(v.node(NodeId(2)).unwrap().id, NodeId(2));
         assert!(v.node(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn cluster_view_rack_helpers() {
+        // Unlabeled views are flat: one rack, everyone co-located.
+        let flat = view(4);
+        assert_eq!(flat.rack_count(), 1);
+        assert!(flat.same_rack(NodeId(0), NodeId(3)));
+
+        // Modular labels, the whole-pipeline convention.
+        let mut nodes: Vec<NodeView> = view(4).nodes().to_vec();
+        for (i, n) in nodes.iter_mut().enumerate() {
+            n.rack = (i % 2) as u32;
+        }
+        let v = ClusterView::new(nodes);
+        assert_eq!(v.rack_count(), 2);
+        assert_eq!(v.rack_of(NodeId(3)), 1);
+        assert!(v.same_rack(NodeId(0), NodeId(2)));
+        assert!(!v.same_rack(NodeId(0), NodeId(1)));
+        // Unknown nodes default to rack 0.
+        assert_eq!(v.rack_of(NodeId(42)), 0);
     }
 
     #[test]

@@ -2,17 +2,23 @@
 //! (measured vs paper).
 //!
 //! Usage: `table1 [--paper] [--nodes N] [--seed N] [--report-json PATH]
-//! [--trace-out PATH]`
+//! [--trace-out PATH] [--racks N] [--oversubscription X]`
 //! `--paper` uses the archive's full 226 208-host population size;
 //! the default uses 20 000 hosts (statistically equivalent, much faster).
 //! `--report-json` additionally runs the telemetry probe pipeline at the
 //! same host count and writes a deterministic JSON run report;
 //! `--trace-out` runs the traced probe and writes its event trace as
-//! JSONL (explore with the `trace` binary).
+//! JSONL (explore with the `trace` binary). `--racks`/`--oversubscription`
+//! install a rack topology in the probe's engine — `--racks 1
+//! --oversubscription 1` reproduces the flat report byte-identically
+//! (the degeneracy contract CI pins).
 
 use adapt_experiments::cli::Options;
-use adapt_experiments::run_report::{build_run_report, finish_report, table1_section};
+use adapt_experiments::run_report::{
+    build_run_report, build_run_report_topo, finish_report, table1_section,
+};
 use adapt_experiments::table1::{render_comparison, run_table1};
+use adapt_sim::Topology;
 
 fn main() {
     let opts = match Options::from_env() {
@@ -41,7 +47,22 @@ fn main() {
     };
 
     if let Some(path) = &opts.report_json {
-        match build_run_report("table1", hosts, seed) {
+        let built = if opts.racks.is_some() || opts.oversubscription.is_some() {
+            let topology = match Topology::new(
+                opts.racks.unwrap_or(1),
+                opts.oversubscription.unwrap_or(1.0),
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("table1: invalid topology: {e}");
+                    std::process::exit(2);
+                }
+            };
+            build_run_report_topo("table1", hosts, seed, topology)
+        } else {
+            build_run_report("table1", hosts, seed)
+        };
+        match built {
             Ok(mut report) => {
                 report.set_section("table1", table1_section(&summary));
                 finish_report(&report, path);

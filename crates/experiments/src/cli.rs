@@ -7,8 +7,11 @@
 //! with the `trace` binary), `--metrics-out PATH` (write the probe run's
 //! scraped time series and work spans as `adapt-metrics/1` JSONL,
 //! explorable with the `metrics` binary), `--metrics-interval SECS`
-//! (scrape cadence in simulated seconds), plus a free-form positional
-//! (the sub-figure selector `a`/`b`/`c` where applicable).
+//! (scrape cadence in simulated seconds), `--racks N` and
+//! `--oversubscription X` (the network topology, where the binary
+//! supports one — `--racks 1 --oversubscription 1` is the flat
+//! network), plus a free-form positional (the sub-figure selector
+//! `a`/`b`/`c` where applicable).
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -31,6 +34,10 @@ pub struct Options {
     pub metrics_out: Option<String>,
     /// Metrics scrape cadence in simulated seconds (default 10).
     pub metrics_interval: Option<f64>,
+    /// Rack count of the network topology (`1` = single rack).
+    pub racks: Option<u32>,
+    /// Core oversubscription ratio (`1.0` = non-blocking core).
+    pub oversubscription: Option<f64>,
     /// Positional arguments (e.g. the sub-figure selector).
     pub positional: Vec<String>,
 }
@@ -77,11 +84,25 @@ impl Options {
                     }
                     opts.metrics_interval = Some(secs);
                 }
+                "--racks" => {
+                    let racks: u32 = parse_value(&arg, args.next())?;
+                    if racks == 0 {
+                        return Err(format!("flag `{arg}`: must be >= 1"));
+                    }
+                    opts.racks = Some(racks);
+                }
+                "--oversubscription" => {
+                    let ratio: f64 = parse_value(&arg, args.next())?;
+                    if !(ratio.is_finite() && ratio >= 1.0) {
+                        return Err(format!("flag `{arg}`: must be finite and >= 1"));
+                    }
+                    opts.oversubscription = Some(ratio);
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [a|b|c] [--paper] [--runs N] [--nodes N] [--seed N] [--csv] \
                          [--report-json PATH] [--trace-out PATH] [--metrics-out PATH] \
-                         [--metrics-interval SECS]"
+                         [--metrics-interval SECS] [--racks N] [--oversubscription X]"
                             .to_string(),
                     )
                 }
@@ -161,6 +182,19 @@ mod tests {
         assert!(parse(&["--metrics-out"]).is_err());
         assert!(parse(&["--metrics-interval", "0"]).is_err());
         assert!(parse(&["--metrics-interval", "nope"]).is_err());
+    }
+
+    #[test]
+    fn parses_topology_flags() {
+        let o = parse(&["--racks", "4", "--oversubscription", "2.5"]).unwrap();
+        assert_eq!(o.racks, Some(4));
+        assert_eq!(o.oversubscription, Some(2.5));
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.racks, None);
+        assert_eq!(defaults.oversubscription, None);
+        assert!(parse(&["--racks", "0"]).is_err());
+        assert!(parse(&["--oversubscription", "0.5"]).is_err());
+        assert!(parse(&["--oversubscription", "inf"]).is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod parallel;
 pub mod policies;
 pub mod report;
 pub mod run_report;
+pub mod shuffle;
 pub mod table1;
 
 mod error;

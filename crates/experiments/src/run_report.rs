@@ -25,6 +25,7 @@ use adapt_metrics::MetricsHub;
 use adapt_sim::engine::{MapPhaseSim, SimConfig};
 use adapt_sim::interrupt::InterruptionProcess;
 use adapt_sim::runner::placement_from_namenode;
+use adapt_sim::Topology;
 use adapt_telemetry::{RunReport, Value};
 use adapt_trace::{write_jsonl, Trace, TraceRecorder};
 use adapt_traces::replay::InterruptionSchedule;
@@ -73,6 +74,22 @@ pub fn build_run_report(tool: &str, nodes: usize, seed: u64) -> Result<RunReport
     Ok(build_probe(tool, nodes, seed, false)?.0)
 }
 
+/// [`build_run_report`] with an explicit network topology installed in
+/// the probe's engine. `Topology::new(1, 1.0)` reproduces the flat
+/// report byte-identically (the degeneracy contract CI pins).
+///
+/// # Errors
+///
+/// Propagates substrate failures as [`ExperimentError`].
+pub fn build_run_report_topo(
+    tool: &str,
+    nodes: usize,
+    seed: u64,
+    topology: Topology,
+) -> Result<RunReport, ExperimentError> {
+    Ok(build_probe_inner(tool, nodes, seed, false, None, Some(topology))?.0)
+}
+
 /// Runs the probe pipeline and assembles the report; with `traced` the
 /// NameNode and simulator share one [`TraceRecorder`], and the sealed
 /// event trace is returned next to the report (placement events first,
@@ -87,7 +104,7 @@ pub fn build_probe(
     seed: u64,
     traced: bool,
 ) -> Result<(RunReport, Option<Trace>), ExperimentError> {
-    let (report, trace, _) = build_probe_inner(tool, nodes, seed, traced, None)?;
+    let (report, trace, _) = build_probe_inner(tool, nodes, seed, traced, None, None)?;
     Ok((report, trace))
 }
 
@@ -109,7 +126,7 @@ pub fn build_probe_metrics(
     seed: u64,
     interval_us: u64,
 ) -> Result<(RunReport, MetricsHub), ExperimentError> {
-    let (report, _, hub) = build_probe_inner(tool, nodes, seed, false, Some(interval_us))?;
+    let (report, _, hub) = build_probe_inner(tool, nodes, seed, false, Some(interval_us), None)?;
     // The inner pipeline always returns a hub when an interval is given.
     hub.map(|hub| (report, hub))
         .ok_or_else(|| ExperimentError::InvalidConfig {
@@ -124,6 +141,7 @@ fn build_probe_inner(
     seed: u64,
     traced: bool,
     metrics_interval_us: Option<u64>,
+    topology: Option<Topology>,
 ) -> Result<(RunReport, Option<Trace>, Option<MetricsHub>), ExperimentError> {
     let config = probe_config(nodes, seed);
     let world = World::generate(&config)?;
@@ -175,7 +193,11 @@ fn build_probe_inner(
         .into_iter()
         .map(InterruptionProcess::trace)
         .collect();
-    let cfg = SimConfig::new(config.bandwidth_mbps, config.block_size, gamma)?.with_horizon(1e7);
+    let mut cfg =
+        SimConfig::new(config.bandwidth_mbps, config.block_size, gamma)?.with_horizon(1e7);
+    if let Some(topology) = topology {
+        cfg = cfg.with_topology(topology);
+    }
     let mut sim = MapPhaseSim::new(processes, placement, cfg)?;
     if let Some(recorder) = namenode.take_trace() {
         sim = sim.with_trace(recorder);
@@ -349,6 +371,22 @@ mod tests {
         assert_eq!(engine.get("runs"), Some(&Value::from(1u64)));
         let namenode = report.section("namenode").unwrap();
         assert_eq!(namenode.get("blocks_placed"), Some(&Value::from(960u64)));
+    }
+
+    #[test]
+    fn explicit_flat_topology_report_is_byte_identical() {
+        // The degeneracy contract CI pins: installing Topology::new(1, 1.0)
+        // must reproduce the pre-topology flat report byte for byte.
+        let flat = build_run_report("test", 64, 3).unwrap().to_json();
+        let degenerate = build_run_report_topo("test", 64, 3, Topology::new(1, 1.0).unwrap())
+            .unwrap()
+            .to_json();
+        assert_eq!(flat, degenerate);
+        // A real topology must actually change the measured payload.
+        let racked = build_run_report_topo("test", 64, 3, Topology::new(8, 4.0).unwrap())
+            .unwrap()
+            .to_json();
+        assert_ne!(flat, racked);
     }
 
     #[test]

@@ -72,13 +72,14 @@ pub mod id {
 /// Crates whose *library* code must be panic-free. `lint` is included so
 /// the analyzer is self-hosting: its own parser must never panic on
 /// arbitrary workspace source.
-pub const ROBUSTNESS_CRATES: [&str; 10] = [
+pub const ROBUSTNESS_CRATES: [&str; 11] = [
     "availability",
     "core",
     "dfs",
     "ds",
     "lint",
     "metrics",
+    "net",
     "sim",
     "trace",
     "verify",

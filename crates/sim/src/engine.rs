@@ -42,6 +42,7 @@ use serde::{Deserialize, Serialize};
 
 use adapt_dfs::{BlockSize, NodeId};
 use adapt_metrics::{MetricsHub, MetricsRegistry, WorkCounts};
+use adapt_net::Topology;
 use adapt_trace::{KillCause, Trace, TraceEvent, TraceMeta, TraceRecorder};
 
 use crate::event::EventQueue;
@@ -108,6 +109,7 @@ pub struct SimConfig {
     detection_delay: f64,
     fetch_failure: bool,
     horizon: f64,
+    topology: Topology,
 }
 
 impl SimConfig {
@@ -151,7 +153,23 @@ impl SimConfig {
             detection_delay: 0.0,
             fetch_failure: false,
             horizon: 1e9,
+            topology: Topology::flat(),
         })
+    }
+
+    /// Installs a rack topology (default [`Topology::flat`]): intra-rack
+    /// transfers keep the flat per-node-link time, cross-rack transfers
+    /// pay the oversubscribed uplink fair-shared over the cross-rack
+    /// flows active when the transfer is committed. The degenerate flat
+    /// topology reproduces the pre-topology engine byte for byte.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The rack topology transfers run over.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// Enables or disables speculative duplicates (on by default).
@@ -374,7 +392,7 @@ const STRAGGLER_ADVANTAGE: f64 = 1.5;
 
 /// Derives a per-node RNG seed from the run seed (splitmix64 finalizer —
 /// adjacent node ids decorrelate fully).
-fn mix_seed(seed: u64, node: u64) -> u64 {
+pub(crate) fn mix_seed(seed: u64, node: u64) -> u64 {
     let mut z = seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -1017,6 +1035,26 @@ impl MapPhaseSim {
             .count()
     }
 
+    /// Cross-rack outbound flows active on `rack`'s uplink at `t`.
+    /// Lazy scan over the rack's members (`rack_of` is `node % racks`,
+    /// so they sit at stride `racks`); entries whose window already
+    /// closed are skipped by the `end > t` filter and pruned whenever
+    /// their source commits its next transfer.
+    fn cross_rack_streams(&self, rack: u32, t: f64) -> usize {
+        let topo = self.cfg.topology;
+        let mut count = 0;
+        let mut ni = rack as usize;
+        while ni < self.nodes.len() {
+            count += self.nodes[ni]
+                .outbound
+                .iter()
+                .filter(|o| o.end > t && topo.rack_of(o.dest) != rack)
+                .count();
+            ni += topo.racks() as usize;
+        }
+        count
+    }
+
     /// The least-loaded alive replica of `task` with a spare outbound
     /// stream, or `None` if every alive source is saturated (or down).
     /// (Completed-transfer entries are ignored by the count and pruned
@@ -1042,7 +1080,10 @@ impl MapPhaseSim {
     }
 
     /// Estimated completion time of a fresh attempt of `task` on `n` at
-    /// `t`, or `None` when no alive source replica exists.
+    /// `t`, or `None` when no alive source replica exists. The estimate
+    /// deliberately prices the flat (uncontended) fetch even under a
+    /// rack topology: the JobTracker's ETA oracle does not model the
+    /// fabric, only committed transfer windows do.
     fn attempt_eta(&self, n: u32, task: usize, t: f64) -> Option<f64> {
         let state = &self.tasks[task];
         if state.replicas.contains(&n) {
@@ -1101,7 +1142,23 @@ impl MapPhaseSim {
                 .ok_or(SimError::InvariantViolation {
                     what: "remote attempt started without an alive source replica",
                 })?;
-            let end = t + self.cfg.transfer_seconds();
+            // Cross-rack fetches pay the oversubscribed uplink,
+            // fair-shared over the cross-rack flows active right now
+            // (committed at start, like the flat window always was).
+            // Intra-rack fetches keep the flat time *bit-identically* —
+            // `fair_share_seconds` returns the base unchanged.
+            let cross_rack = !self.cfg.topology.same_rack(source, n);
+            let streams = if cross_rack {
+                self.cross_rack_streams(self.cfg.topology.rack_of(source), t) + 1
+            } else {
+                1
+            };
+            let end = t + self.cfg.topology.fair_share_seconds(
+                self.cfg.transfer_seconds(),
+                source,
+                n,
+                streams,
+            );
             let src = &mut self.nodes[source as usize];
             src.serving.retain(|&e| e > t);
             src.serving.push(end);
@@ -1116,6 +1173,17 @@ impl MapPhaseSim {
             self.telemetry
                 .transfer_bytes
                 .record(self.cfg.block_size.bytes());
+            if cross_rack {
+                self.telemetry.transfers_cross_rack.incr();
+                self.telemetry.link_streams_hwm.record(streams as u64);
+                if streams > 1 {
+                    self.emit(TraceEvent::LinkContention {
+                        rack: self.cfg.topology.rack_of(source),
+                        streams: streams as u32,
+                        t,
+                    });
+                }
+            }
             transfer_source = Some(source);
             end
         };
@@ -2463,5 +2531,109 @@ mod tests {
         let derived = derive_totals(trace);
         assert_eq!(derived.misc_us, detailed.telemetry.misc_us);
         assert_eq!(derived.elapsed_us, detailed.telemetry.elapsed_us);
+    }
+
+    #[test]
+    fn explicit_flat_topology_is_byte_identical_to_default() {
+        // A workload with remote fetches: node 1 holds nothing and must
+        // steal everything from node 0.
+        let placement = single_replica(&[0, 0, 0, 0]);
+        let base = MapPhaseSim::new(reliable(2), placement.clone(), cfg())
+            .unwrap()
+            .run_detailed(7)
+            .unwrap();
+        let flat = MapPhaseSim::new(
+            reliable(2),
+            placement,
+            cfg().with_topology(Topology::new(1, 1.0).unwrap()),
+        )
+        .unwrap()
+        .run_detailed(7)
+        .unwrap();
+        assert_eq!(base, flat);
+        assert_eq!(flat.telemetry.transfers_cross_rack, 0);
+    }
+
+    #[test]
+    fn cross_rack_fetch_pays_the_oversubscribed_uplink() {
+        // Two nodes in two racks; node 1 steals task 1 from node 0 at
+        // t = 0 over the 2:1-oversubscribed core (speculation off so the
+        // fetch runs to completion).
+        let topo = Topology::new(2, 2.0).unwrap();
+        let placement = single_replica(&[0, 0]);
+        let detailed = MapPhaseSim::new(
+            reliable(2),
+            placement.clone(),
+            cfg().with_speculation(false).with_topology(topo),
+        )
+        .unwrap()
+        .run_detailed(7)
+        .unwrap();
+        // base fetch = 64 MB over 8 Mb/s = 64 s; cross-rack ×2 = 128 s,
+        // then γ = 12 s of compute.
+        assert!(detailed.report.completed);
+        assert!((detailed.report.elapsed - 140.0).abs() < 1e-9);
+        assert!((detailed.report.migration - 128.0).abs() < 1e-9);
+        assert_eq!(detailed.telemetry.transfers_cross_rack, 1);
+        assert_eq!(detailed.telemetry.link_streams_hwm, 1);
+
+        // The same run on the flat network fetches in 64 s.
+        let flat = MapPhaseSim::new(reliable(2), placement, cfg().with_speculation(false))
+            .unwrap()
+            .run_detailed(7)
+            .unwrap();
+        assert!((flat.report.elapsed - 76.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_cross_rack_flows_share_the_uplink() {
+        use adapt_trace::TraceRecorder;
+        // Racks {0,2} and {1,3}; every block on node 0. At t = 0 nodes
+        // 1, 2, 3 all steal from node 0: the fetches to 1 and 3 cross
+        // the core (the second commits against the first → contention),
+        // the fetch to 2 stays inside rack 0 at the flat rate.
+        let topo = Topology::new(2, 2.0).unwrap();
+        let placement = single_replica(&[0, 0, 0, 0, 0, 0]);
+        let detailed = MapPhaseSim::new(
+            reliable(4),
+            placement,
+            cfg().with_speculation(false).with_topology(topo),
+        )
+        .unwrap()
+        .with_trace(TraceRecorder::new())
+        .run_detailed(7)
+        .unwrap();
+        assert_eq!(detailed.telemetry.transfers_cross_rack, 2);
+        assert_eq!(detailed.telemetry.link_streams_hwm, 2);
+        let trace = detailed.trace.as_ref().unwrap();
+        let contention = trace
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::LinkContention { rack, streams, t } => Some((*rack, *streams, *t)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(contention, (0, 2, 0.0));
+        // Node 1 committed alone (64 × 2 = 128 s); node 3 committed
+        // second and shares the uplink (64 × 2 × 2 = 256 s).
+        let fetch_end = |dest: u32| {
+            trace
+                .events
+                .iter()
+                .find_map(|e| match e {
+                    TraceEvent::TransferDone {
+                        dest: d,
+                        start,
+                        end,
+                        ..
+                    } if *d == dest && *start == 0.0 => Some(*end),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!((fetch_end(1) - 128.0).abs() < 1e-9);
+        assert!((fetch_end(2) - 64.0).abs() < 1e-9);
+        assert!((fetch_end(3) - 256.0).abs() < 1e-9);
     }
 }

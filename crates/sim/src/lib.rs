@@ -51,12 +51,15 @@ pub mod engine;
 pub mod event;
 pub mod interrupt;
 pub mod jobtracker;
+pub mod reduce;
 pub mod runner;
 pub mod shuffle;
+pub mod strategy;
 pub mod telemetry;
 
 mod error;
 
+pub use adapt_net::Topology;
 pub use engine::{DetailedReport, MapPhaseSim, NodeStat, SchedulingMode, SimConfig, SimReport};
 pub use error::SimError;
 pub use interrupt::InterruptionProcess;
@@ -64,9 +67,13 @@ pub use jobtracker::{
     job_seed, JobPlacer, JobRecord, JobStreamOutcome, JobTracker, JobTrackerConfig,
     JobTrackerTelemetry, MapEngine, OptimizedEngine, SchedPolicy, StripedPlacer,
 };
+pub use reduce::{slice_bytes, ReduceDetailed, ReducePhaseSim, ReduceReport};
 pub use shuffle::{
-    estimate_shuffle, estimate_shuffle_instrumented, reliable_reducer_placement, ShuffleConfig,
-    ShuffleReport,
+    estimate_shuffle, estimate_shuffle_instrumented, estimate_shuffle_topo,
+    estimate_shuffle_topo_instrumented, reliable_reducer_placement, ShuffleConfig, ShuffleReport,
+};
+pub use strategy::{
+    AdaptStrategy, MapTaskPlacement, NaiveStrategy, PlacementStrategy, RackAwareStrategy,
 };
 pub use telemetry::{
     EngineTelemetry, EngineTelemetrySnapshot, ShuffleTelemetry, ShuffleTelemetrySnapshot,

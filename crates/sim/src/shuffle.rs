@@ -23,11 +23,20 @@
 //! Local map output (a reducer co-located with the map output's host)
 //! skips the network, which is what reducer placement can optimize.
 //!
+//! On a rack topology ([`estimate_shuffle_topo`]) the same model holds,
+//! except that a slice crossing a rack boundary drains through the
+//! source rack's oversubscribed uplink: the binding-uplink time charges
+//! cross-rack megabytes at the oversubscription ratio. The flat
+//! topology ([`adapt_net::Topology::flat`]) moves no cross-rack bytes,
+//! so [`estimate_shuffle`] — which delegates to it — is bit-identical
+//! to the historical flat-network estimate.
+//!
 //! [`run_detailed`]: crate::engine::MapPhaseSim::run_detailed
 
 use serde::{Deserialize, Serialize};
 
 use adapt_dfs::{BlockSize, NodeId};
+use adapt_net::Topology;
 
 use crate::telemetry::ShuffleTelemetry;
 use crate::SimError;
@@ -104,6 +113,10 @@ pub struct ShuffleReport {
     pub elapsed: f64,
     /// Megabytes that crossed the network.
     pub network_mb: f64,
+    /// Of the network megabytes, how many crossed a rack boundary
+    /// (always zero under the flat topology).
+    #[serde(default)]
+    pub cross_rack_mb: f64,
     /// Megabytes served locally (reducer co-located with the output).
     pub local_mb: f64,
     /// The binding uplink's total upload (MB).
@@ -126,21 +139,16 @@ impl ShuffleReport {
     }
 }
 
-/// Estimates the shuffle/reduce phase for map outputs located at
-/// `winners` (one entry per map task; `None` entries — tasks unfinished
-/// at the map horizon — are skipped) on a cluster of `nodes` nodes, with
-/// reducers placed on `reducer_nodes`.
-///
-/// # Errors
-///
-/// Returns [`SimError::InvalidConfig`] if `reducer_nodes` length differs
-/// from `config.reducers`, is empty, or references a node `>= nodes`.
-pub fn estimate_shuffle(
+/// Shared estimate body; also yields the largest per-reducer cross-rack
+/// download, which the instrumented wrapper records as the cross-rack
+/// skew high-water mark.
+fn estimate_impl(
     winners: &[Option<NodeId>],
     nodes: usize,
     reducer_nodes: &[NodeId],
     config: &ShuffleConfig,
-) -> Result<ShuffleReport, SimError> {
+    topology: &Topology,
+) -> Result<(ShuffleReport, f64), SimError> {
     if reducer_nodes.len() != config.reducers {
         return Err(SimError::InvalidConfig {
             name: "reducer_nodes",
@@ -162,10 +170,16 @@ pub fn estimate_shuffle(
     let slice_mb = out_mb / config.reducers as f64;
 
     // Volume bookkeeping: uploads keyed by map-output host, downloads by
-    // reducer slot.
+    // reducer slot, with the cross-rack portion of each held separately
+    // (always zero on a flat topology, preserving the historical sums
+    // bit-for-bit — the accumulation order of the total buckets never
+    // depends on the topology).
     let mut upload_mb = vec![0.0f64; nodes];
+    let mut upload_cross_mb = vec![0.0f64; nodes];
     let mut download_mb = vec![0.0f64; config.reducers];
+    let mut download_cross_mb = vec![0.0f64; config.reducers];
     let mut network_mb = 0.0;
+    let mut cross_rack_mb = 0.0;
     let mut local_mb = 0.0;
 
     for winner in winners.iter().flatten() {
@@ -176,23 +190,83 @@ pub fn estimate_shuffle(
                 upload_mb[winner.0 as usize] += slice_mb;
                 download_mb[slot] += slice_mb;
                 network_mb += slice_mb;
+                if !topology.same_rack(winner.0, reducer.0) {
+                    upload_cross_mb[winner.0 as usize] += slice_mb;
+                    download_cross_mb[slot] += slice_mb;
+                    cross_rack_mb += slice_mb;
+                }
             }
         }
     }
 
+    // The binding uplink charges its cross-rack megabytes at the
+    // oversubscription ratio: cost_i = upload_i + cross_i·(ratio − 1).
+    // On a flat topology cross_i is 0.0, so cost_i is upload_i exactly
+    // (x + 0.0·r == x for every finite non-negative x).
+    let ratio_extra = topology.oversubscription() - 1.0;
     let max_upload_mb = upload_mb.iter().copied().fold(0.0, f64::max);
+    let max_upload_cost_mb = upload_mb
+        .iter()
+        .zip(upload_cross_mb.iter())
+        .map(|(&up, &cross)| up + cross * ratio_extra)
+        .fold(0.0, f64::max);
     let max_download_mb = download_mb.iter().copied().fold(0.0, f64::max);
-    let binding_mb = max_upload_mb.max(max_download_mb);
+    let max_download_cross_mb = download_cross_mb.iter().copied().fold(0.0, f64::max);
+    let binding_mb = max_upload_cost_mb.max(max_download_mb);
     let elapsed = binding_mb * 8.0 / config.bandwidth_mbps + config.reduce_gamma;
 
-    Ok(ShuffleReport {
-        elapsed,
-        network_mb,
-        local_mb,
-        max_upload_mb,
-        max_download_mb,
-        reducer_nodes: reducer_nodes.to_vec(),
-    })
+    Ok((
+        ShuffleReport {
+            elapsed,
+            network_mb,
+            cross_rack_mb,
+            local_mb,
+            max_upload_mb,
+            max_download_mb,
+            reducer_nodes: reducer_nodes.to_vec(),
+        },
+        max_download_cross_mb,
+    ))
+}
+
+/// Estimates the shuffle/reduce phase for map outputs located at
+/// `winners` (one entry per map task; `None` entries — tasks unfinished
+/// at the map horizon — are skipped) on a cluster of `nodes` nodes, with
+/// reducers placed on `reducer_nodes`, over a flat network.
+///
+/// Exactly [`estimate_shuffle_topo`] with [`Topology::flat`]; the two
+/// produce bit-identical reports on a flat network.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] if `reducer_nodes` length differs
+/// from `config.reducers`, is empty, or references a node `>= nodes`.
+pub fn estimate_shuffle(
+    winners: &[Option<NodeId>],
+    nodes: usize,
+    reducer_nodes: &[NodeId],
+    config: &ShuffleConfig,
+) -> Result<ShuffleReport, SimError> {
+    estimate_shuffle_topo(winners, nodes, reducer_nodes, config, &Topology::flat())
+}
+
+/// [`estimate_shuffle`] over a rack topology: a slice whose map-output
+/// host and reducer sit in different racks drains through the source
+/// rack's oversubscribed uplink, so the binding-uplink time charges its
+/// cross-rack megabytes at the oversubscription ratio. The report's
+/// `cross_rack_mb` carries the separated cross-rack volume.
+///
+/// # Errors
+///
+/// Exactly those of [`estimate_shuffle`].
+pub fn estimate_shuffle_topo(
+    winners: &[Option<NodeId>],
+    nodes: usize,
+    reducer_nodes: &[NodeId],
+    config: &ShuffleConfig,
+    topology: &Topology,
+) -> Result<ShuffleReport, SimError> {
+    estimate_impl(winners, nodes, reducer_nodes, config, topology).map(|(report, _)| report)
 }
 
 /// [`estimate_shuffle`] plus instrumentation: records the run's byte
@@ -210,7 +284,36 @@ pub fn estimate_shuffle_instrumented(
     config: &ShuffleConfig,
     telemetry: &ShuffleTelemetry,
 ) -> Result<ShuffleReport, SimError> {
-    let report = estimate_shuffle(winners, nodes, reducer_nodes, config)?;
+    estimate_shuffle_topo_instrumented(
+        winners,
+        nodes,
+        reducer_nodes,
+        config,
+        &Topology::flat(),
+        telemetry,
+    )
+}
+
+/// [`estimate_shuffle_topo`] plus instrumentation. On top of the flat
+/// instruments, runs that moved cross-rack bytes record the separated
+/// cross-rack volume, the per-reducer cross-rack skew high-water mark,
+/// and the per-run cross-rack histogram; flat runs leave those
+/// instruments untouched, so their telemetry JSON keeps the exact
+/// pre-topology shape.
+///
+/// # Errors
+///
+/// Exactly those of [`estimate_shuffle`]; failed runs record nothing.
+pub fn estimate_shuffle_topo_instrumented(
+    winners: &[Option<NodeId>],
+    nodes: usize,
+    reducer_nodes: &[NodeId],
+    config: &ShuffleConfig,
+    topology: &Topology,
+    telemetry: &ShuffleTelemetry,
+) -> Result<ShuffleReport, SimError> {
+    let (report, max_download_cross_mb) =
+        estimate_impl(winners, nodes, reducer_nodes, config, topology)?;
     telemetry.runs.incr();
     let network = mb_to_bytes(report.network_mb);
     telemetry.network_bytes.add(network);
@@ -219,6 +322,14 @@ pub fn estimate_shuffle_instrumented(
         .reducer_bytes_hwm
         .record(mb_to_bytes(report.max_download_mb));
     telemetry.run_network_bytes.record(network);
+    let cross = mb_to_bytes(report.cross_rack_mb);
+    if cross > 0 {
+        telemetry.cross_rack_bytes.add(cross);
+        telemetry
+            .reducer_cross_rack_hwm
+            .record(mb_to_bytes(max_download_cross_mb));
+        telemetry.run_cross_rack_bytes.record(cross);
+    }
     Ok(report)
 }
 
@@ -348,6 +459,90 @@ mod tests {
         // A failed estimate records nothing.
         assert!(estimate_shuffle_instrumented(&winners, 2, &[], &cfg(1, 8.0), &telemetry).is_err());
         assert_eq!(telemetry.snapshot().runs, 1);
+    }
+
+    #[test]
+    fn flat_topology_reproduces_the_flat_estimate_bitwise() {
+        let winners = vec![Some(NodeId(0)), Some(NodeId(1)), None, Some(NodeId(0))];
+        let reducers = [NodeId(0), NodeId(1)];
+        let config = cfg(2, 8.0);
+        let flat = estimate_shuffle(&winners, 3, &reducers, &config).unwrap();
+        let topo =
+            estimate_shuffle_topo(&winners, 3, &reducers, &config, &Topology::flat()).unwrap();
+        assert_eq!(flat, topo);
+        assert_eq!(flat.elapsed.to_bits(), topo.elapsed.to_bits());
+        assert_eq!(flat.cross_rack_mb, 0.0);
+        // Many racks but a non-blocking core also changes nothing about
+        // elapsed: cross-rack volume is separated, the charge is ×1.
+        let wide = estimate_shuffle_topo(
+            &winners,
+            3,
+            &reducers,
+            &config,
+            &Topology::new(3, 1.0).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(wide.elapsed.to_bits(), flat.elapsed.to_bits());
+        assert!(wide.cross_rack_mb > 0.0);
+    }
+
+    #[test]
+    fn cross_rack_uplink_charges_oversubscription() {
+        // 4 outputs on node 0 (rack 0), reducer on node 1 (rack 1) of a
+        // 2-rack, 2:1 fabric: all 32 MB cross, so the binding uplink
+        // costs 64 MB-equivalent → 64 s at 8 Mb/s, plus 10 s reduce.
+        let winners = vec![Some(NodeId(0)); 4];
+        let topo = Topology::new(2, 2.0).unwrap();
+        let report = estimate_shuffle_topo(&winners, 2, &[NodeId(1)], &cfg(1, 8.0), &topo).unwrap();
+        assert_eq!(report.network_mb, 32.0);
+        assert_eq!(report.cross_rack_mb, 32.0);
+        assert_eq!(report.max_upload_mb, 32.0);
+        assert!((report.elapsed - 74.0).abs() < 1e-9);
+        // The same transfer inside one rack pays the flat price: nodes 0
+        // and 2 share rack 0.
+        let same_rack =
+            estimate_shuffle_topo(&winners, 3, &[NodeId(2)], &cfg(1, 8.0), &topo).unwrap();
+        assert_eq!(same_rack.cross_rack_mb, 0.0);
+        assert!((same_rack.elapsed - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instrumented_topo_counts_cross_rack_bytes_separately() {
+        // Outputs on nodes 0 and 1 (racks 0 and 1), reducers on nodes 0
+        // and 1: each output sends half locally and half across racks.
+        let winners = vec![Some(NodeId(0)), Some(NodeId(1))];
+        let topo = Topology::new(2, 3.0).unwrap();
+        let telemetry = ShuffleTelemetry::default();
+        let report = estimate_shuffle_topo_instrumented(
+            &winners,
+            2,
+            &[NodeId(0), NodeId(1)],
+            &cfg(2, 8.0),
+            &topo,
+            &telemetry,
+        )
+        .unwrap();
+        assert!((report.cross_rack_mb - 8.0).abs() < 1e-9);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.network_bytes, 8 * 1_048_576);
+        assert_eq!(snap.cross_rack_bytes, 8 * 1_048_576);
+        // Each reducer downloads exactly one 4 MB cross-rack slice.
+        assert_eq!(snap.reducer_cross_rack_hwm, 4 * 1_048_576);
+        assert_eq!(snap.run_cross_rack_bytes.count, 1);
+        // A flat run on the same telemetry touches no cross instrument.
+        estimate_shuffle_topo_instrumented(
+            &winners,
+            2,
+            &[NodeId(0), NodeId(1)],
+            &cfg(2, 8.0),
+            &Topology::flat(),
+            &telemetry,
+        )
+        .unwrap();
+        let after = telemetry.snapshot();
+        assert_eq!(after.runs, 2);
+        assert_eq!(after.cross_rack_bytes, 8 * 1_048_576);
+        assert_eq!(after.run_cross_rack_bytes.count, 1);
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! MapReduce task-placement strategies: one trait for both phases.
+//!
+//! The DFS layer answers "which node stores this replica?" through
+//! `adapt_dfs::placement::PlacementPolicy`. This module answers the
+//! JobTracker-level question — "which node should *run* this task?" —
+//! split the way simulators like dslab-mr split it: `place_map_tasks`
+//! decides the replica holders each map task may run against, and
+//! `place_reduce_task` picks a host for one reduce task given where the
+//! map outputs landed.
+//!
+//! Every strategy here is **deterministic**: decisions are pure functions
+//! of the [`ClusterView`] and the call arguments, with no RNG. That is
+//! what lets the differential oracle in `adapt-verify` run the optimized
+//! and reference reduce engines under each strategy and demand
+//! bit-identical results.
+//!
+//! Three implementations mirror the repository's three placement camps:
+//!
+//! * [`NaiveStrategy`] — round-robin over alive nodes, availability- and
+//!   rack-blind (the stock-Hadoop baseline).
+//! * [`AdaptStrategy`] — availability-proportional smooth weighted
+//!   round-robin over equation-(5) completion rates, the ADAPT paper's
+//!   placement idea lifted to task scheduling; reducers land on the most
+//!   reliable hosts first.
+//! * [`RackAwareStrategy`] — replica spread across racks (HDFS
+//!   rack-awareness) and reducers pulled toward the rack holding the
+//!   plurality of their shuffle input, minimizing cross-rack bytes over
+//!   the oversubscribed core.
+
+use adapt_dfs::placement::ClusterView;
+use adapt_dfs::NodeId;
+
+use crate::SimError;
+
+/// One map task's placement: the replica holders it may run against, in
+/// preference order (the engines treat membership as data locality).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapTaskPlacement {
+    /// The task index the placement belongs to.
+    pub task: usize,
+    /// Replica holders of the task's input block.
+    pub replicas: Vec<NodeId>,
+}
+
+/// A deterministic two-phase task-placement strategy.
+pub trait PlacementStrategy: std::fmt::Debug {
+    /// Short strategy name used in reports (e.g. `"adapt"`, `"naive"`,
+    /// `"rack-aware"`).
+    fn name(&self) -> &'static str;
+
+    /// Chooses replica holders for each of `tasks` map inputs, with
+    /// `replication` replicas per block (capped by the alive-node
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the view has no alive
+    /// node or `tasks`/`replication` is zero.
+    fn place_map_tasks(
+        &mut self,
+        cluster: &ClusterView,
+        tasks: usize,
+        replication: usize,
+    ) -> Result<Vec<MapTaskPlacement>, SimError>;
+
+    /// Picks the host of reduce task `reducer` (of `reducers` total)
+    /// given the map-output holders (`holders[t]` lists the nodes
+    /// holding map task `t`'s output).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the view has no alive
+    /// node or `reducer >= reducers`.
+    fn place_reduce_task(
+        &mut self,
+        cluster: &ClusterView,
+        holders: &[Vec<NodeId>],
+        reducer: usize,
+        reducers: usize,
+    ) -> Result<NodeId, SimError>;
+}
+
+/// Ascending-id list of alive nodes, the shared candidate order.
+fn alive_nodes(cluster: &ClusterView) -> Vec<NodeId> {
+    cluster
+        .nodes()
+        .iter()
+        .filter(|n| n.alive)
+        .map(|n| n.id)
+        .collect()
+}
+
+fn require_alive(cluster: &ClusterView) -> Result<Vec<NodeId>, SimError> {
+    let alive = alive_nodes(cluster);
+    if alive.is_empty() {
+        return Err(SimError::InvalidConfig {
+            name: "cluster",
+            reason: "no alive node to place on".into(),
+        });
+    }
+    Ok(alive)
+}
+
+fn validate_map_args(tasks: usize, replication: usize) -> Result<(), SimError> {
+    if tasks == 0 {
+        return Err(SimError::InvalidConfig {
+            name: "tasks",
+            reason: "at least one map task required".into(),
+        });
+    }
+    if replication == 0 {
+        return Err(SimError::InvalidConfig {
+            name: "replication",
+            reason: "at least one replica required".into(),
+        });
+    }
+    Ok(())
+}
+
+fn validate_reduce_args(reducer: usize, reducers: usize) -> Result<(), SimError> {
+    if reducer >= reducers {
+        return Err(SimError::InvalidConfig {
+            name: "reducer",
+            reason: format!("reducer {reducer} out of range for {reducers} reducers"),
+        });
+    }
+    Ok(())
+}
+
+/// Round-robin over alive nodes: availability- and rack-blind, the
+/// stock-Hadoop baseline the paper compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NaiveStrategy;
+
+impl NaiveStrategy {
+    /// Creates the naive strategy.
+    pub fn new() -> Self {
+        NaiveStrategy
+    }
+}
+
+impl PlacementStrategy for NaiveStrategy {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn place_map_tasks(
+        &mut self,
+        cluster: &ClusterView,
+        tasks: usize,
+        replication: usize,
+    ) -> Result<Vec<MapTaskPlacement>, SimError> {
+        validate_map_args(tasks, replication)?;
+        let alive = require_alive(cluster)?;
+        let k = replication.min(alive.len());
+        Ok((0..tasks)
+            .map(|task| MapTaskPlacement {
+                task,
+                replicas: (0..k).map(|j| alive[(task + j) % alive.len()]).collect(),
+            })
+            .collect())
+    }
+
+    fn place_reduce_task(
+        &mut self,
+        cluster: &ClusterView,
+        _holders: &[Vec<NodeId>],
+        reducer: usize,
+        reducers: usize,
+    ) -> Result<NodeId, SimError> {
+        validate_reduce_args(reducer, reducers)?;
+        let alive = require_alive(cluster)?;
+        Ok(alive[reducer % alive.len()])
+    }
+}
+
+/// Availability-proportional placement: each alive node accrues credit
+/// at its equation-(5) completion *rate* (`γ / E[T] ∈ (0, 1]`, so a
+/// reliable host earns 1 per step) and each replica goes to the
+/// highest-credit node — deterministic smooth weighted round-robin, the
+/// ADAPT hash-table idea without the RNG. Reduce tasks land on the most
+/// reliable hosts first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptStrategy {
+    gamma: f64,
+}
+
+impl AdaptStrategy {
+    /// Creates the strategy for tasks of failure-free length `gamma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `gamma` is finite and
+    /// positive.
+    pub fn new(gamma: f64) -> Result<Self, SimError> {
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(SimError::InvalidConfig {
+                name: "gamma",
+                reason: format!("{gamma} must be finite and > 0"),
+            });
+        }
+        Ok(AdaptStrategy { gamma })
+    }
+
+    /// Completion rate of one node: `γ / E[T]` from equation (5), or 0
+    /// for a host whose recovery queue is unstable (never placed on
+    /// unless every host is unstable).
+    fn rate(&self, cluster: &ClusterView, id: NodeId) -> f64 {
+        let Some(node) = cluster.node(id) else {
+            return 0.0;
+        };
+        match node.availability.expected_completion(self.gamma) {
+            Ok(expected) if expected > 0.0 => self.gamma / expected,
+            _ => 0.0,
+        }
+    }
+
+    /// Alive nodes ordered most-reliable first (rate descending, id
+    /// ascending on ties).
+    fn by_reliability(&self, cluster: &ClusterView) -> Result<Vec<NodeId>, SimError> {
+        let mut alive = require_alive(cluster)?;
+        alive.sort_by(|&a, &b| {
+            self.rate(cluster, b)
+                .total_cmp(&self.rate(cluster, a))
+                .then(a.0.cmp(&b.0))
+        });
+        Ok(alive)
+    }
+}
+
+impl PlacementStrategy for AdaptStrategy {
+    fn name(&self) -> &'static str {
+        "adapt"
+    }
+
+    fn place_map_tasks(
+        &mut self,
+        cluster: &ClusterView,
+        tasks: usize,
+        replication: usize,
+    ) -> Result<Vec<MapTaskPlacement>, SimError> {
+        validate_map_args(tasks, replication)?;
+        let alive = require_alive(cluster)?;
+        let k = replication.min(alive.len());
+        let rates: Vec<f64> = alive.iter().map(|&id| self.rate(cluster, id)).collect();
+        // Degenerate all-unstable cluster: fall back to uniform credit so
+        // the round-robin still terminates with a valid assignment.
+        let uniform = rates.iter().all(|&r| r == 0.0);
+        let mut credit = vec![0.0f64; alive.len()];
+        let mut placements = Vec::with_capacity(tasks);
+        for task in 0..tasks {
+            let mut replicas: Vec<NodeId> = Vec::with_capacity(k);
+            let mut taken = vec![false; alive.len()];
+            for _ in 0..k {
+                for (i, c) in credit.iter_mut().enumerate() {
+                    *c += if uniform { 1.0 } else { rates[i] };
+                }
+                // Highest credit among nodes not yet holding this block;
+                // first (lowest-id) maximum wins, matching the stable
+                // order the oracle pins.
+                let mut best: Option<usize> = None;
+                for i in 0..alive.len() {
+                    if taken[i] {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some(b) => credit[i] > credit[b],
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+                if let Some(i) = best {
+                    taken[i] = true;
+                    credit[i] -= 1.0;
+                    replicas.push(alive[i]);
+                }
+            }
+            placements.push(MapTaskPlacement { task, replicas });
+        }
+        Ok(placements)
+    }
+
+    fn place_reduce_task(
+        &mut self,
+        cluster: &ClusterView,
+        _holders: &[Vec<NodeId>],
+        reducer: usize,
+        reducers: usize,
+    ) -> Result<NodeId, SimError> {
+        validate_reduce_args(reducer, reducers)?;
+        let ranked = self.by_reliability(cluster)?;
+        Ok(ranked[reducer % ranked.len()])
+    }
+}
+
+/// Rack-aware placement in the HDFS mold: map replicas spread across
+/// racks (first replica rotates racks, later replicas continue into the
+/// following racks), and each reduce task runs inside the rack holding
+/// the plurality of its shuffle input — cross-rack bytes over the
+/// oversubscribed core are what this strategy minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RackAwareStrategy;
+
+impl RackAwareStrategy {
+    /// Creates the rack-aware strategy.
+    pub fn new() -> Self {
+        RackAwareStrategy
+    }
+
+    /// Ascending list of rack labels with at least one alive node.
+    fn alive_racks(cluster: &ClusterView, alive: &[NodeId]) -> Vec<u32> {
+        let mut racks: Vec<u32> = alive.iter().map(|&id| cluster.rack_of(id)).collect();
+        racks.sort_unstable();
+        racks.dedup();
+        racks
+    }
+}
+
+impl PlacementStrategy for RackAwareStrategy {
+    fn name(&self) -> &'static str {
+        "rack-aware"
+    }
+
+    fn place_map_tasks(
+        &mut self,
+        cluster: &ClusterView,
+        tasks: usize,
+        replication: usize,
+    ) -> Result<Vec<MapTaskPlacement>, SimError> {
+        validate_map_args(tasks, replication)?;
+        let alive = require_alive(cluster)?;
+        let k = replication.min(alive.len());
+        let racks = Self::alive_racks(cluster, &alive);
+        // Alive nodes of each rack, ascending id (parallel to `racks`).
+        let members: Vec<Vec<NodeId>> = racks
+            .iter()
+            .map(|&r| {
+                alive
+                    .iter()
+                    .copied()
+                    .filter(|&id| cluster.rack_of(id) == r)
+                    .collect()
+            })
+            .collect();
+        // Per-rack rotation so consecutive tasks hitting the same rack
+        // spread over its members.
+        let mut cursor = vec![0usize; racks.len()];
+        let mut placements = Vec::with_capacity(tasks);
+        for task in 0..tasks {
+            let mut replicas: Vec<NodeId> = Vec::with_capacity(k);
+            let mut offset = 0usize;
+            while replicas.len() < k && offset < racks.len() + k {
+                let ri = (task + offset) % racks.len();
+                let rack_nodes = &members[ri];
+                for step in 0..rack_nodes.len() {
+                    let candidate = rack_nodes[(cursor[ri] + step) % rack_nodes.len()];
+                    if !replicas.contains(&candidate) {
+                        cursor[ri] = (cursor[ri] + step + 1) % rack_nodes.len();
+                        replicas.push(candidate);
+                        break;
+                    }
+                }
+                offset += 1;
+            }
+            placements.push(MapTaskPlacement { task, replicas });
+        }
+        Ok(placements)
+    }
+
+    fn place_reduce_task(
+        &mut self,
+        cluster: &ClusterView,
+        holders: &[Vec<NodeId>],
+        reducer: usize,
+        reducers: usize,
+    ) -> Result<NodeId, SimError> {
+        validate_reduce_args(reducer, reducers)?;
+        let alive = require_alive(cluster)?;
+        let racks = Self::alive_racks(cluster, &alive);
+        // One holder vote per map task: the first alive holder speaks
+        // for the task's output (each map output has one primary copy).
+        let mut votes = vec![0usize; racks.len()];
+        for task_holders in holders {
+            let Some(&h) = task_holders
+                .iter()
+                .find(|&&h| cluster.node(h).is_some_and(|n| n.alive))
+            else {
+                continue;
+            };
+            let rack = cluster.rack_of(h);
+            if let Some(ri) = racks.iter().position(|&r| r == rack) {
+                votes[ri] += 1;
+            }
+        }
+        // Plurality rack; first (lowest-label) maximum wins. With no
+        // votes at all (no alive holder anywhere) rack 0 of the list.
+        let mut best = 0usize;
+        for (ri, &v) in votes.iter().enumerate() {
+            if v > votes[best] {
+                best = ri;
+            }
+        }
+        let rack_nodes: Vec<NodeId> = alive
+            .iter()
+            .copied()
+            .filter(|&id| cluster.rack_of(id) == racks[best])
+            .collect();
+        // Spread this job's reducers over the chosen rack's members.
+        Ok(rack_nodes[reducer % rack_nodes.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_dfs::placement::NodeView;
+    use adapt_dfs::NodeAvailability;
+
+    fn view(racks: u32, n: u32, volatile: &[u32], dead: &[u32]) -> ClusterView {
+        ClusterView::new(
+            (0..n)
+                .map(|i| NodeView {
+                    id: NodeId(i),
+                    availability: if volatile.contains(&i) {
+                        NodeAvailability::from_mtbi(20.0, 8.0).expect("valid availability")
+                    } else {
+                        NodeAvailability::reliable()
+                    },
+                    alive: !dead.contains(&i),
+                    stored_blocks: 0,
+                    capacity_blocks: None,
+                    rack: i % racks,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn naive_round_robins_and_validates() {
+        let v = view(1, 4, &[], &[]);
+        let mut s = NaiveStrategy::new();
+        let placements = s.place_map_tasks(&v, 6, 2).expect("places");
+        assert_eq!(placements.len(), 6);
+        assert_eq!(placements[0].replicas, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(placements[5].replicas, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            s.place_reduce_task(&v, &[], 5, 8).expect("places"),
+            NodeId(1)
+        );
+        assert!(s.place_map_tasks(&v, 0, 1).is_err());
+        assert!(s.place_map_tasks(&v, 1, 0).is_err());
+        assert!(s.place_reduce_task(&v, &[], 3, 3).is_err());
+        let empty = view(1, 2, &[], &[0, 1]);
+        assert!(s.place_map_tasks(&empty, 1, 1).is_err());
+    }
+
+    #[test]
+    fn naive_skips_dead_nodes() {
+        let v = view(1, 4, &[], &[1]);
+        let mut s = NaiveStrategy::new();
+        let placements = s.place_map_tasks(&v, 3, 1).expect("places");
+        for p in &placements {
+            assert_ne!(p.replicas[0], NodeId(1));
+        }
+    }
+
+    #[test]
+    fn adapt_prefers_reliable_hosts() {
+        // Node 1 is volatile; with 2 tasks × 1 replica both land on the
+        // reliable majority first.
+        let v = view(1, 3, &[1], &[]);
+        let mut s = AdaptStrategy::new(12.0).expect("valid gamma");
+        let placements = s.place_map_tasks(&v, 4, 1).expect("places");
+        let on_volatile = placements
+            .iter()
+            .filter(|p| p.replicas.contains(&NodeId(1)))
+            .count();
+        let on_reliable = placements.len() - on_volatile;
+        assert!(
+            on_reliable > on_volatile,
+            "reliable nodes should carry more tasks: {placements:?}"
+        );
+        // Reducer 0 goes to the most reliable host (lowest id among the
+        // reliable ones).
+        assert_eq!(
+            s.place_reduce_task(&v, &[], 0, 2).expect("places"),
+            NodeId(0)
+        );
+        assert!(AdaptStrategy::new(0.0).is_err());
+    }
+
+    #[test]
+    fn adapt_replicas_are_distinct() {
+        let v = view(1, 4, &[2], &[]);
+        let mut s = AdaptStrategy::new(12.0).expect("valid gamma");
+        for p in s.place_map_tasks(&v, 8, 3).expect("places") {
+            let mut seen = p.replicas.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), p.replicas.len(), "duplicate replica: {p:?}");
+        }
+    }
+
+    #[test]
+    fn rack_aware_spreads_replicas_across_racks() {
+        let v = view(2, 4, &[], &[]);
+        let mut s = RackAwareStrategy::new();
+        for p in s.place_map_tasks(&v, 6, 2).expect("places") {
+            assert_eq!(p.replicas.len(), 2);
+            assert_ne!(
+                v.rack_of(p.replicas[0]),
+                v.rack_of(p.replicas[1]),
+                "replicas share a rack: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rack_aware_reducer_follows_the_data() {
+        let v = view(2, 4, &[], &[]);
+        let mut s = RackAwareStrategy::new();
+        // All map outputs on rack-0 members (nodes 0 and 2).
+        let holders = vec![vec![NodeId(0)], vec![NodeId(2)], vec![NodeId(0)]];
+        let host = s.place_reduce_task(&v, &holders, 0, 1).expect("places");
+        assert_eq!(v.rack_of(host), 0);
+        // Outputs on rack 1 pull the reducer there.
+        let holders = vec![vec![NodeId(1)], vec![NodeId(3)], vec![NodeId(1)]];
+        let host = s.place_reduce_task(&v, &holders, 0, 1).expect("places");
+        assert_eq!(v.rack_of(host), 1);
+        // Dead holders don't vote.
+        let dead_heavy = view(2, 4, &[], &[1, 3]);
+        let host = s
+            .place_reduce_task(&dead_heavy, &holders, 0, 1)
+            .expect("places");
+        assert_eq!(dead_heavy.rack_of(host), 0);
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let v = view(3, 9, &[4], &[2]);
+        let holders = vec![vec![NodeId(0)], vec![NodeId(4)], vec![NodeId(8)]];
+        let mut a1 = AdaptStrategy::new(12.0).expect("valid gamma");
+        let mut a2 = AdaptStrategy::new(12.0).expect("valid gamma");
+        assert_eq!(
+            a1.place_map_tasks(&v, 12, 2).expect("places"),
+            a2.place_map_tasks(&v, 12, 2).expect("places")
+        );
+        let mut r1 = RackAwareStrategy::new();
+        let mut r2 = RackAwareStrategy::new();
+        assert_eq!(
+            r1.place_map_tasks(&v, 12, 2).expect("places"),
+            r2.place_map_tasks(&v, 12, 2).expect("places")
+        );
+        assert_eq!(
+            r1.place_reduce_task(&v, &holders, 1, 4).expect("places"),
+            r2.place_reduce_task(&v, &holders, 1, 4).expect("places")
+        );
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let v = view(1, 2, &[], &[]);
+        let mut s: Box<dyn PlacementStrategy> = Box::new(NaiveStrategy::new());
+        assert_eq!(s.name(), "naive");
+        assert!(s.place_map_tasks(&v, 1, 1).is_ok());
+    }
+}

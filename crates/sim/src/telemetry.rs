@@ -51,6 +51,12 @@ pub struct EngineTelemetry {
     pub attempts_started: Counter,
     /// Block transfers started (equals `SimReport::transfers`).
     pub transfers_started: Counter,
+    /// Of the transfers started, how many crossed a rack boundary
+    /// (always zero under the flat topology).
+    pub transfers_cross_rack: Counter,
+    /// Peak concurrent cross-rack flows on any one rack uplink, sampled
+    /// at each cross-rack commit (includes the committing flow).
+    pub link_streams_hwm: HighWater,
     /// Wall (simulated) duration of each completed attempt, µs.
     pub attempt_duration_us: Histogram,
     /// Bytes moved per block transfer.
@@ -94,6 +100,8 @@ impl EngineTelemetry {
             requeues: self.requeues.get(),
             attempts_started: self.attempts_started.get(),
             transfers_started: self.transfers_started.get(),
+            transfers_cross_rack: self.transfers_cross_rack.get(),
+            link_streams_hwm: self.link_streams_hwm.get(),
             attempt_duration_us: self.attempt_duration_us.snapshot(),
             transfer_bytes: self.transfer_bytes.snapshot(),
             node_busy_us: self.node_busy_us.snapshot(),
@@ -122,11 +130,22 @@ pub struct ShuffleTelemetry {
     pub network_bytes: Counter,
     /// Bytes served locally (reducer co-located with the map output).
     pub local_bytes: Counter,
+    /// Of the network bytes, how many crossed a rack boundary (always
+    /// zero under the flat topology).
+    pub cross_rack_bytes: Counter,
     /// Largest single-reducer download observed across runs — the
     /// skew high-water mark of the binding downlink.
     pub reducer_bytes_hwm: HighWater,
+    /// Largest single-reducer *cross-rack* download across runs. Counted
+    /// separately from [`reducer_bytes_hwm`](Self::reducer_bytes_hwm):
+    /// under oversubscription the skewed reducer is the one with the
+    /// most uplink-shaped bytes, which the total high-water can mask.
+    pub reducer_cross_rack_hwm: HighWater,
     /// Network bytes per shuffle run.
     pub run_network_bytes: Histogram,
+    /// Cross-rack bytes per shuffle run (recorded only for runs that
+    /// moved cross-rack bytes, so flat runs leave it untouched).
+    pub run_cross_rack_bytes: Histogram,
 }
 
 impl ShuffleTelemetry {
@@ -136,8 +155,11 @@ impl ShuffleTelemetry {
             runs: self.runs.get(),
             network_bytes: self.network_bytes.get(),
             local_bytes: self.local_bytes.get(),
+            cross_rack_bytes: self.cross_rack_bytes.get(),
             reducer_bytes_hwm: self.reducer_bytes_hwm.get(),
+            reducer_cross_rack_hwm: self.reducer_cross_rack_hwm.get(),
             run_network_bytes: self.run_network_bytes.snapshot(),
+            run_cross_rack_bytes: self.run_cross_rack_bytes.snapshot(),
         }
     }
 }
@@ -152,10 +174,17 @@ pub struct ShuffleTelemetrySnapshot {
     pub network_bytes: u64,
     /// Locally served bytes, summed over runs.
     pub local_bytes: u64,
+    /// Cross-rack network bytes, summed over runs (zero on flat runs).
+    pub cross_rack_bytes: u64,
     /// Largest single-reducer download (max across merged runs).
     pub reducer_bytes_hwm: u64,
+    /// Largest single-reducer cross-rack download (max across merged
+    /// runs; zero on flat runs).
+    pub reducer_cross_rack_hwm: u64,
     /// Network bytes per shuffle run.
     pub run_network_bytes: HistogramSnapshot,
+    /// Cross-rack bytes per shuffle run (empty on flat runs).
+    pub run_cross_rack_bytes: HistogramSnapshot,
 }
 
 impl ShuffleTelemetrySnapshot {
@@ -165,16 +194,30 @@ impl ShuffleTelemetrySnapshot {
         self.runs += other.runs;
         self.network_bytes += other.network_bytes;
         self.local_bytes += other.local_bytes;
+        self.cross_rack_bytes += other.cross_rack_bytes;
         self.reducer_bytes_hwm = self.reducer_bytes_hwm.max(other.reducer_bytes_hwm);
+        self.reducer_cross_rack_hwm = self
+            .reducer_cross_rack_hwm
+            .max(other.reducer_cross_rack_hwm);
         self.run_network_bytes.merge(&other.run_network_bytes);
+        self.run_cross_rack_bytes.merge(&other.run_cross_rack_bytes);
     }
 
     /// Serializes the snapshot as a JSON object with stable keys.
     pub fn to_value(&self) -> Value {
         let mut v = Value::object();
+        // Sparse: flat-topology shuffles keep the exact JSON shape (and
+        // bytes) they had before cross-rack accounting existed.
+        if self.cross_rack_bytes > 0 {
+            v.insert("cross_rack_bytes", self.cross_rack_bytes);
+        }
         v.insert("local_bytes", self.local_bytes);
         v.insert("network_bytes", self.network_bytes);
         v.insert("reducer_bytes_hwm", self.reducer_bytes_hwm);
+        if self.cross_rack_bytes > 0 {
+            v.insert("reducer_cross_rack_hwm", self.reducer_cross_rack_hwm);
+            v.insert("run_cross_rack_bytes", self.run_cross_rack_bytes.to_value());
+        }
         v.insert("run_network_bytes", self.run_network_bytes.to_value());
         v.insert("runs", self.runs);
         v
@@ -217,6 +260,11 @@ pub struct EngineTelemetrySnapshot {
     pub attempts_started: u64,
     /// Block transfers started.
     pub transfers_started: u64,
+    /// Transfers that crossed a rack boundary (zero on flat networks).
+    pub transfers_cross_rack: u64,
+    /// Peak concurrent cross-rack flows on any one rack uplink (max
+    /// across merged runs).
+    pub link_streams_hwm: u64,
     /// Completed-attempt durations, µs.
     pub attempt_duration_us: HistogramSnapshot,
     /// Bytes per block transfer.
@@ -264,6 +312,8 @@ impl EngineTelemetrySnapshot {
         self.requeues += other.requeues;
         self.attempts_started += other.attempts_started;
         self.transfers_started += other.transfers_started;
+        self.transfers_cross_rack += other.transfers_cross_rack;
+        self.link_streams_hwm = self.link_streams_hwm.max(other.link_streams_hwm);
         self.attempt_duration_us.merge(&other.attempt_duration_us);
         self.transfer_bytes.merge(&other.transfer_bytes);
         self.node_busy_us.merge(&other.node_busy_us);
@@ -301,6 +351,14 @@ impl EngineTelemetrySnapshot {
         v.insert("interruptions", self.interruptions);
         v.insert("kills_interruption", self.kills_interruption);
         v.insert("kills_source_lost", self.kills_source_lost);
+        // Sparse: flat-network runs keep the exact report shape (and
+        // bytes) they had before the rack topology existed.
+        if self.transfers_cross_rack > 0 {
+            let mut network = Value::object();
+            network.insert("link_streams_hwm", self.link_streams_hwm);
+            network.insert("transfers_cross_rack", self.transfers_cross_rack);
+            v.insert("network", network);
+        }
         v.insert("node_busy_us", self.node_busy_us.to_value());
         v.insert("node_down_us", self.node_down_us.to_value());
         v.insert("node_idle_us", self.node_idle_us.to_value());
@@ -390,6 +448,59 @@ mod tests {
         let map_only = EngineTelemetry::default().snapshot();
         assert!(!map_only.to_value().to_json().contains("\"shuffle\""));
         assert!(ab.to_value().to_json().contains("\"shuffle\""));
+    }
+
+    #[test]
+    fn cross_rack_merge_is_order_independent_and_sparse_in_json() {
+        // Mirrors `shuffle_merge_is_order_independent_and_sparse_in_json`
+        // for the cross-rack instruments: the skew high-water and the
+        // log2 histogram count cross-rack bytes separately, merge in any
+        // order, and stay out of the JSON on flat runs.
+        let s = ShuffleTelemetry::default();
+        s.runs.incr();
+        s.network_bytes.add(1_000);
+        s.cross_rack_bytes.add(600);
+        s.reducer_bytes_hwm.record(400);
+        s.reducer_cross_rack_hwm.record(300);
+        s.run_network_bytes.record(1_000);
+        s.run_cross_rack_bytes.record(600);
+
+        let t = ShuffleTelemetry::default();
+        t.runs.incr();
+        t.network_bytes.add(2_000);
+        t.cross_rack_bytes.add(150);
+        t.reducer_bytes_hwm.record(900);
+        t.reducer_cross_rack_hwm.record(150);
+        t.run_network_bytes.record(2_000);
+        t.run_cross_rack_bytes.record(150);
+
+        let mut a = EngineTelemetry::default().snapshot();
+        a.shuffle = s.snapshot();
+        let mut b = EngineTelemetry::default().snapshot();
+        b.shuffle = t.snapshot();
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.shuffle.cross_rack_bytes, 750);
+        assert_eq!(ab.shuffle.reducer_bytes_hwm, 900);
+        assert_eq!(ab.shuffle.reducer_cross_rack_hwm, 300);
+        assert_eq!(ab.shuffle.run_cross_rack_bytes.count, 2);
+
+        // A flat-topology shuffle run serializes byte-identically to the
+        // pre-cross-rack shape: no cross-rack keys at all.
+        let flat = ShuffleTelemetry::default();
+        flat.runs.incr();
+        flat.network_bytes.add(1_000);
+        flat.run_network_bytes.record(1_000);
+        let flat_json = flat.snapshot().to_value().to_json();
+        assert!(!flat_json.contains("cross_rack"));
+        let rack_json = ab.shuffle.to_value().to_json();
+        assert!(rack_json.contains("\"cross_rack_bytes\":750"));
+        assert!(rack_json.contains("\"reducer_cross_rack_hwm\":300"));
+        assert!(rack_json.contains("\"run_cross_rack_bytes\""));
     }
 
     #[test]

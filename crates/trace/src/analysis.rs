@@ -196,6 +196,11 @@ pub fn derive_totals(trace: &Trace) -> DerivedTotals {
             TraceEvent::JobSubmitted { .. }
             | TraceEvent::JobStarted { .. }
             | TraceEvent::JobCompleted { .. } => {}
+            // Reduce-phase records are accounted by the reduce report,
+            // not the map-phase overhead taxonomy being re-derived here.
+            TraceEvent::ReduceStarted { .. }
+            | TraceEvent::ShuffleFetch { .. }
+            | TraceEvent::LinkContention { .. } => {}
         }
     }
 
@@ -375,7 +380,10 @@ fn attempt_span(event: &TraceEvent) -> Option<AttemptSpan> {
         | TraceEvent::RecoverySpan { .. }
         | TraceEvent::JobSubmitted { .. }
         | TraceEvent::JobStarted { .. }
-        | TraceEvent::JobCompleted { .. } => None,
+        | TraceEvent::JobCompleted { .. }
+        | TraceEvent::ReduceStarted { .. }
+        | TraceEvent::ShuffleFetch { .. }
+        | TraceEvent::LinkContention { .. } => None,
     }
 }
 
@@ -779,6 +787,22 @@ pub fn gantt(trace: &Trace) -> Vec<NodeLane> {
             | TraceEvent::JobSubmitted { .. }
             | TraceEvent::JobStarted { .. }
             | TraceEvent::JobCompleted { .. } => {}
+            // Shuffle fetches occupy the destination reducer's lane.
+            TraceEvent::ShuffleFetch {
+                dest, start, end, ..
+            } => {
+                add(
+                    &mut lanes,
+                    dest,
+                    Segment {
+                        kind: SegmentKind::Transfer,
+                        start,
+                        end,
+                        task: None,
+                    },
+                );
+            }
+            TraceEvent::ReduceStarted { .. } | TraceEvent::LinkContention { .. } => {}
         }
     }
     for i in 0..open_down.len() {

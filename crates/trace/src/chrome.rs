@@ -255,6 +255,57 @@ pub fn write_chrome(trace: &Trace) -> String {
                     args,
                 ));
             }
+            TraceEvent::ReduceStarted {
+                reducer,
+                node,
+                attempt,
+                t,
+            } => {
+                let mut args = Value::object();
+                args.insert("attempt", attempt);
+                args.insert("reducer", reducer);
+                events.push(instant("reduce started", "reduce", node, micros(t), args));
+            }
+            TraceEvent::ShuffleFetch {
+                reducer,
+                source,
+                dest,
+                task,
+                bytes,
+                start,
+                end,
+                aborted,
+            } => {
+                let mut args = Value::object();
+                args.insert("aborted", aborted);
+                args.insert("bytes", bytes);
+                args.insert("reducer", reducer);
+                args.insert("source", source);
+                args.insert("task", task);
+                let ts = micros(start);
+                events.push(span(
+                    "shuffle fetch",
+                    "shuffle",
+                    dest,
+                    ts,
+                    micros(end).saturating_sub(ts),
+                    args,
+                ));
+            }
+            TraceEvent::LinkContention { rack, streams, t } => {
+                let mut args = Value::object();
+                args.insert("rack", rack);
+                args.insert("streams", streams);
+                // Link contention is a fabric-level observation, not tied
+                // to a node; pin it to the tracker's control lane.
+                events.push(instant(
+                    "link contention",
+                    "network",
+                    trace.meta.nodes,
+                    micros(t),
+                    args,
+                ));
+            }
             // Started transfers are rendered when they resolve (every
             // TransferStarted is matched by a Done/Aborted record);
             // AttemptStarted likewise resolves to Won/Killed/Cut, and

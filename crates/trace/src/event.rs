@@ -285,6 +285,50 @@ pub enum TraceEvent {
         /// Release time (seconds).
         t: f64,
     },
+    /// A reduce-task attempt began on a node (re-emitted with a fresh
+    /// attempt number after an interruption restarts the task).
+    ReduceStarted {
+        /// Reduce-task slot.
+        reducer: u32,
+        /// Hosting node.
+        node: u32,
+        /// Per-reducer monotone attempt sequence number.
+        attempt: u64,
+        /// Attempt start time (seconds).
+        t: f64,
+    },
+    /// One shuffle fetch: a reducer pulling its slice of one map output
+    /// over the network. `aborted` fetches end at the kill time (source
+    /// or reducer host died mid-flight) and are retried later.
+    ShuffleFetch {
+        /// Fetching reduce-task slot.
+        reducer: u32,
+        /// Map-output holder serving the slice.
+        source: u32,
+        /// The reducer's host.
+        dest: u32,
+        /// Map task whose output slice is moving.
+        task: u32,
+        /// Slice size in bytes.
+        bytes: u64,
+        /// Fetch start (seconds).
+        start: f64,
+        /// Fetch end — planned completion, or the abort time.
+        end: f64,
+        /// Whether the fetch was cut short and must be retried.
+        aborted: bool,
+    },
+    /// A cross-rack transfer committed while other cross-rack flows were
+    /// active on the same rack uplink: the fair share it received is
+    /// `1/streams` of the (oversubscribed) uplink.
+    LinkContention {
+        /// The congested source rack.
+        rack: u32,
+        /// Cross-rack flows sharing the uplink, including the new one.
+        streams: u32,
+        /// Commit time of the contended transfer (seconds).
+        t: f64,
+    },
 }
 
 impl TraceEvent {
@@ -308,6 +352,9 @@ impl TraceEvent {
             TraceEvent::JobSubmitted { .. } => "job_submitted",
             TraceEvent::JobStarted { .. } => "job_started",
             TraceEvent::JobCompleted { .. } => "job_completed",
+            TraceEvent::ReduceStarted { .. } => "reduce_started",
+            TraceEvent::ShuffleFetch { .. } => "shuffle_fetch",
+            TraceEvent::LinkContention { .. } => "link_contention",
         }
     }
 
@@ -331,6 +378,9 @@ impl TraceEvent {
             TraceEvent::JobSubmitted { t, .. } => t,
             TraceEvent::JobStarted { t, .. } => t,
             TraceEvent::JobCompleted { t, .. } => t,
+            TraceEvent::ReduceStarted { t, .. } => t,
+            TraceEvent::ShuffleFetch { end, .. } => end,
+            TraceEvent::LinkContention { t, .. } => t,
         }
     }
 
@@ -346,7 +396,8 @@ impl TraceEvent {
             | TraceEvent::AttemptKilled { start, .. }
             | TraceEvent::AttemptCut { start, .. }
             | TraceEvent::RecoverySpan { start, .. }
-            | TraceEvent::JobCompleted { start, .. } => micros(start),
+            | TraceEvent::JobCompleted { start, .. }
+            | TraceEvent::ShuffleFetch { start, .. } => micros(start),
             TraceEvent::NodeUp { since, .. } => micros(since),
             // Instant records: the span start is the timestamp itself.
             TraceEvent::BlockPlaced { .. }
@@ -355,7 +406,9 @@ impl TraceEvent {
             | TraceEvent::NodeDown { .. }
             | TraceEvent::TaskRequeued { .. }
             | TraceEvent::JobSubmitted { .. }
-            | TraceEvent::JobStarted { .. } => micros(self.time()),
+            | TraceEvent::JobStarted { .. }
+            | TraceEvent::ReduceStarted { .. }
+            | TraceEvent::LinkContention { .. } => micros(self.time()),
         }
     }
 
@@ -530,6 +583,41 @@ impl TraceEvent {
                 v.insert("completed", completed);
                 v.insert("job", job);
                 v.insert("start", start);
+                v.insert("t", t);
+            }
+            TraceEvent::ReduceStarted {
+                reducer,
+                node,
+                attempt,
+                t,
+            } => {
+                v.insert("attempt", attempt);
+                v.insert("node", node);
+                v.insert("reducer", reducer);
+                v.insert("t", t);
+            }
+            TraceEvent::ShuffleFetch {
+                reducer,
+                source,
+                dest,
+                task,
+                bytes,
+                start,
+                end,
+                aborted,
+            } => {
+                v.insert("aborted", aborted);
+                v.insert("bytes", bytes);
+                v.insert("dest", dest);
+                v.insert("end", end);
+                v.insert("reducer", reducer);
+                v.insert("source", source);
+                v.insert("start", start);
+                v.insert("task", task);
+            }
+            TraceEvent::LinkContention { rack, streams, t } => {
+                v.insert("rack", rack);
+                v.insert("streams", streams);
                 v.insert("t", t);
             }
         }

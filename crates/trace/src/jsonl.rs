@@ -304,6 +304,27 @@ fn event_from_value(v: &Value) -> Result<TraceEvent, String> {
             start: get_f64(v, "start")?,
             t: get_f64(v, "t")?,
         },
+        "reduce_started" => TraceEvent::ReduceStarted {
+            reducer: get_u32(v, "reducer")?,
+            node: get_u32(v, "node")?,
+            attempt: get_u64(v, "attempt")?,
+            t: get_f64(v, "t")?,
+        },
+        "shuffle_fetch" => TraceEvent::ShuffleFetch {
+            reducer: get_u32(v, "reducer")?,
+            source: get_u32(v, "source")?,
+            dest: get_u32(v, "dest")?,
+            task: get_u32(v, "task")?,
+            bytes: get_u64(v, "bytes")?,
+            start: get_f64(v, "start")?,
+            end: get_f64(v, "end")?,
+            aborted: get_bool(v, "aborted")?,
+        },
+        "link_contention" => TraceEvent::LinkContention {
+            rack: get_u32(v, "rack")?,
+            streams: get_u32(v, "streams")?,
+            t: get_f64(v, "t")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     })
 }
@@ -420,6 +441,54 @@ mod tests {
         // The completed-job record is a span from admission to release.
         assert_eq!(trace.events[2].start_us(), 1_500_000);
         assert_eq!(trace.events[2].end_us(), 88_250_000);
+    }
+
+    #[test]
+    fn reduce_phase_events_round_trip() {
+        let mut rec = TraceRecorder::new();
+        rec.record(TraceEvent::ReduceStarted {
+            reducer: 2,
+            node: 5,
+            attempt: 0,
+            t: 0.0,
+        });
+        rec.record(TraceEvent::LinkContention {
+            rack: 1,
+            streams: 3,
+            t: 0.0,
+        });
+        rec.record(TraceEvent::ShuffleFetch {
+            reducer: 2,
+            source: 0,
+            dest: 5,
+            task: 7,
+            bytes: 8 << 20,
+            start: 0.0,
+            end: 24.5,
+            aborted: false,
+        });
+        rec.record(TraceEvent::ShuffleFetch {
+            reducer: 2,
+            source: 1,
+            dest: 5,
+            task: 8,
+            bytes: 8 << 20,
+            start: 24.5,
+            end: 30.0,
+            aborted: true,
+        });
+        let trace = rec.finish(TraceMeta::default());
+        let text = write_jsonl(&trace);
+        assert!(text.contains("\"kind\":\"reduce_started\""), "{text}");
+        assert!(text.contains("\"kind\":\"shuffle_fetch\""), "{text}");
+        assert!(text.contains("\"kind\":\"link_contention\""), "{text}");
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(write_jsonl(&back), text);
+        // The fetch is a span; the contention record is an instant.
+        assert_eq!(trace.events[2].start_us(), 0);
+        assert_eq!(trace.events[2].end_us(), 24_500_000);
+        assert_eq!(trace.events[1].start_us(), trace.events[1].end_us());
     }
 
     #[test]

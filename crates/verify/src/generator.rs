@@ -44,6 +44,10 @@ const BLOCK_REGIMES: [u64; 3] = [64 << 20, 16 << 20, 8 << 20];
 /// wall-clock even in unstable regimes).
 const HORIZON_REGIMES: [f64; 3] = [1_000.0, 5_000.0, 20_000.0];
 
+/// Core oversubscription ratios for multi-rack scenarios (datacenter
+/// fabrics commonly run 2.5:1 to 5:1).
+const OVERSUB_REGIMES: [f64; 4] = [1.0, 2.0, 2.5, 5.0];
+
 fn pick(rng: &mut StdRng, n: u64) -> u64 {
     debug_assert!(n > 0);
     rng.next_u64() % n
@@ -155,6 +159,27 @@ pub fn generate(seed: u64) -> Scenario {
         placement.push(replicas);
     }
 
+    // Reduce/shuffle dimensions, drawn after every map-phase draw so a
+    // given seed's map corpus (cluster, placement, schedules) is exactly
+    // what it was before the reduce phase existed.
+    let reducers = 1 + pick(&mut rng, 8) as usize;
+    let reduce_gamma = choose_f64(&mut rng, &GAMMA_REGIMES);
+    let shuffle_skew = if chance(&mut rng, 1, 3) {
+        2 + pick(&mut rng, 7)
+    } else {
+        1
+    };
+    let racks = if chance(&mut rng, 1, 2) {
+        2 + pick(&mut rng, 3) as u32
+    } else {
+        1
+    };
+    let oversubscription = if racks > 1 {
+        choose_f64(&mut rng, &OVERSUB_REGIMES)
+    } else {
+        1.0
+    };
+
     Scenario {
         seed,
         nodes,
@@ -169,7 +194,31 @@ pub fn generate(seed: u64) -> Scenario {
         detection_delay,
         fetch_failure,
         horizon,
+        reducers,
+        reduce_gamma,
+        shuffle_skew,
+        racks,
+        oversubscription,
     }
+}
+
+/// Deterministically generates a reduce-heavy scenario for `seed`: the
+/// same cluster and placement as [`generate`], but with the shuffle as
+/// the dominant phase — many reducers, heavy output skew, and an
+/// oversubscribed multi-rack fabric — so the reduce corpus concentrates
+/// on uplink contention, cross-rack re-sourcing, and reducer-host
+/// restarts rather than map mechanics.
+pub fn generate_reduce_heavy(seed: u64) -> Scenario {
+    let mut scenario = generate(seed);
+    // An independent stream (fixed xor so it can never collide with the
+    // map draw sequence) re-draws only the reduce dimensions.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5244_4845_4156_5921);
+    scenario.reducers = 2 + pick(&mut rng, 14) as usize;
+    scenario.reduce_gamma = choose_f64(&mut rng, &GAMMA_REGIMES);
+    scenario.shuffle_skew = 2 + pick(&mut rng, 7);
+    scenario.racks = 2 + pick(&mut rng, 3) as u32;
+    scenario.oversubscription = choose_f64(&mut rng, &[2.0, 2.5, 5.0]);
+    scenario
 }
 
 /// Generates one node's interruption behaviour for a multi-job cluster,
@@ -344,6 +393,48 @@ mod tests {
                     assert!((r as usize) < s.nodes.len());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn corpus_covers_the_reduce_regimes() {
+        let mut saw_multi_reducer = false;
+        let mut saw_skew = false;
+        let mut saw_multi_rack = false;
+        let mut saw_oversub = false;
+        for seed in 0..128 {
+            let s = generate(seed);
+            assert!(s.reducers >= 1);
+            assert!(s.shuffle_skew >= 1);
+            assert!(s.racks >= 1);
+            assert!(s.oversubscription >= 1.0);
+            s.topology().expect("valid topology");
+            saw_multi_reducer |= s.reducers > 1;
+            saw_skew |= s.shuffle_skew > 1;
+            saw_multi_rack |= s.racks > 1;
+            saw_oversub |= s.oversubscription > 1.0;
+        }
+        assert!(saw_multi_reducer, "corpus never generated >1 reducer");
+        assert!(saw_skew, "corpus never generated shuffle skew");
+        assert!(saw_multi_rack, "corpus never generated a multi-rack fabric");
+        assert!(saw_oversub, "corpus never generated oversubscription");
+    }
+
+    #[test]
+    fn reduce_heavy_corpus_is_deterministic_and_shuffle_dominant() {
+        for seed in 0..64 {
+            let s = generate_reduce_heavy(seed);
+            assert_eq!(s, generate_reduce_heavy(seed));
+            assert!(s.reducers >= 2);
+            assert!(s.shuffle_skew >= 2);
+            assert!(s.racks >= 2);
+            assert!(s.oversubscription >= 2.0);
+            // The map side is untouched: same cluster and placement as
+            // the plain corpus for the same seed.
+            let base = generate(seed);
+            assert_eq!(s.nodes, base.nodes);
+            assert_eq!(s.placement, base.placement);
+            assert_eq!(s.seed, base.seed);
         }
     }
 

@@ -39,15 +39,17 @@ pub mod jobstream;
 pub mod metamorphic;
 pub mod oracle;
 pub mod reference;
+pub mod reference_reduce;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
 pub use error::VerifyError;
-pub use generator::{generate, generate_jobstream};
+pub use generator::{generate, generate_jobstream, generate_reduce_heavy};
 pub use jobstream::{check_jobstream, JobStreamScenario, ReferenceJobTracker};
 pub use oracle::{check_scenario, compare_reports, Divergence};
 pub use reference::ReferenceSim;
+pub use reference_reduce::ReferenceReduce;
 pub use runner::{run_corpus, FailureArtifact, FuzzReport, JobStreamFailure};
 pub use scenario::{NodeKind, Scenario};
 pub use shrink::shrink;

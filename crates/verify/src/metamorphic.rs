@@ -20,6 +20,18 @@
 //!    where the NameNode explicitly recorded a cap relaxation to keep a
 //!    replica placeable — and then the total excess is bounded by the
 //!    relaxation count ([`threshold_cap_holds`]).
+//! 5. **Shuffle-bytes conservation** — on a reliable cluster the reduce
+//!    phase's local plus network bytes equal the total map-output bytes
+//!    exactly, as `u64`s: `slice_bytes` partitions without creating or
+//!    losing a byte and nothing is re-fetched
+//!    ([`shuffle_bytes_conserved`]).
+//! 6. **Topology degeneracy** — installing an explicit 1-rack,
+//!    non-oversubscribed topology reproduces the pre-topology flat
+//!    engine byte-identically, for both the map and the reduce phase
+//!    ([`topology_degeneracy`]).
+//! 7. **Bandwidth monotonicity** — on a reliable cluster, doubling every
+//!    link's bandwidth can only finish the reduce phase earlier
+//!    ([`reduce_monotone_in_bandwidth`]).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,7 +43,10 @@ use adapt_dfs::cluster::{NodeAvailability, NodeSpec};
 use adapt_dfs::namenode::{NameNode, Threshold};
 use adapt_dfs::placement::{ClusterView, NodeView};
 use adapt_dfs::NodeId;
+use adapt_sim::{NaiveStrategy, PlacementStrategy, ReduceDetailed};
 
+use crate::oracle::compare_reports;
+use crate::scenario::{NodeKind, Scenario};
 use crate::VerifyError;
 
 /// Result of one Monte-Carlo bracketing check of equation (5).
@@ -128,6 +143,7 @@ fn view(specs: &[NodeAvailability]) -> ClusterView {
                 alive: true,
                 stored_blocks: 0,
                 capacity_blocks: None,
+                rack: 0,
             })
             .collect(),
     )
@@ -274,6 +290,150 @@ pub fn threshold_cap_holds(
     Ok(observed_max)
 }
 
+/// `scenario` with every node replaced by a reliable one. Conservation
+/// and monotonicity are exact/sound only without outages: a restart
+/// re-fetches slices (double-counting network bytes), and outage timing
+/// need not respect a bandwidth ordering.
+fn reliable_variant(scenario: &Scenario) -> Scenario {
+    let mut s = scenario.clone();
+    s.nodes = vec![NodeKind::Reliable; scenario.nodes.len()];
+    s
+}
+
+/// Runs the map phase of `scenario` and places its reducers with the
+/// naive strategy, returning `None` when there is nothing to shuffle.
+type ReduceSetup = (Vec<Vec<NodeId>>, Vec<u64>, Vec<NodeId>);
+fn reduce_setup(scenario: &Scenario) -> Result<Option<ReduceSetup>, VerifyError> {
+    let map = scenario.run_optimized(false)?;
+    let (holders, output_bytes) = scenario.reduce_inputs(&map.winners);
+    if holders.is_empty() || scenario.reducers == 0 {
+        return Ok(None);
+    }
+    let cluster = scenario.cluster_view()?;
+    let mut strategy = NaiveStrategy::new();
+    let mut reducer_nodes = Vec::with_capacity(scenario.reducers);
+    for r in 0..scenario.reducers {
+        reducer_nodes.push(strategy.place_reduce_task(&cluster, &holders, r, scenario.reducers)?);
+    }
+    Ok(Some((holders, output_bytes, reducer_nodes)))
+}
+
+/// Checks shuffle-bytes conservation on the reliable variant of
+/// `scenario`: once every reducer has finished, the bytes read locally
+/// plus the bytes fetched over the network must equal the total
+/// map-output bytes *exactly* (integer equality — the slice partition
+/// neither creates nor loses a byte, and a reliable cluster never
+/// re-fetches). Returns a violation description, `None` on pass
+/// (vacuously when there is nothing to shuffle or the horizon cuts the
+/// phase with fetches still in flight).
+///
+/// # Errors
+///
+/// [`VerifyError`] if the scenario is invalid or an engine rejects it.
+pub fn shuffle_bytes_conserved(scenario: &Scenario) -> Result<Option<String>, VerifyError> {
+    let s = reliable_variant(scenario);
+    let Some((holders, output_bytes, reducer_nodes)) = reduce_setup(&s)? else {
+        return Ok(None);
+    };
+    let detailed = s.run_reduce_optimized(&holders, &output_bytes, &reducer_nodes, false)?;
+    if !detailed.report.completed {
+        return Ok(None);
+    }
+    let expected: u64 = output_bytes.iter().sum();
+    let moved = detailed.report.local_bytes + detailed.report.network_bytes;
+    if moved != expected {
+        return Ok(Some(format!(
+            "shuffle bytes not conserved: local {} + network {} = {moved} != map output {expected}",
+            detailed.report.local_bytes, detailed.report.network_bytes
+        )));
+    }
+    Ok(None)
+}
+
+/// Checks topology degeneracy: `scenario` rewritten to one rack with no
+/// oversubscription, run through the topology-aware engines, must
+/// reproduce the pre-topology flat configuration byte-identically —
+/// map phase ([`compare_reports`] over the full
+/// [`DetailedReport`](adapt_sim::DetailedReport))
+/// and reduce phase (exact [`ReduceDetailed`] equality). Returns a
+/// violation description, `None` on pass.
+///
+/// # Errors
+///
+/// [`VerifyError`] if the scenario is invalid or an engine rejects it.
+pub fn topology_degeneracy(scenario: &Scenario) -> Result<Option<String>, VerifyError> {
+    let mut s = scenario.clone();
+    s.racks = 1;
+    s.oversubscription = 1.0;
+    let with_topology = s.run_optimized(false)?;
+    let flat = s.run_optimized_flat()?;
+    if let Some(d) = compare_reports(&with_topology, &flat) {
+        return Ok(Some(format!(
+            "map phase diverges from the flat engine under a degenerate topology: {} ({})",
+            d.field, d.details
+        )));
+    }
+    let Some((holders, output_bytes, reducer_nodes)) = reduce_setup(&s)? else {
+        return Ok(None);
+    };
+    let reduce_topo = s.run_reduce_optimized(&holders, &output_bytes, &reducer_nodes, false)?;
+    let reduce_flat = s.run_reduce_optimized_flat(&holders, &output_bytes, &reducer_nodes)?;
+    if reduce_topo != reduce_flat {
+        return Ok(Some(format!(
+            "reduce phase diverges from the flat engine under a degenerate topology: \
+             {:?} != {:?}",
+            reduce_topo.report, reduce_flat.report
+        )));
+    }
+    Ok(None)
+}
+
+/// Numerical slack for the bandwidth-monotonicity comparison: transfer
+/// times are computed in floating point, so "no later" allows an
+/// epsilon.
+pub const MONOTONE_TOL: f64 = 1e-9;
+
+fn completions(detailed: &ReduceDetailed) -> usize {
+    detailed.report.finish.iter().flatten().count()
+}
+
+/// Checks reduce-phase monotonicity in link bandwidth on the reliable
+/// variant of `scenario`: with the same shuffle inputs and reducer
+/// placement, doubling every per-node link bandwidth must not finish
+/// the phase later (within [`MONOTONE_TOL`]) and must not complete
+/// fewer reducers. Sound only on a reliable cluster, where reducers
+/// interact solely through link contention. Returns a violation
+/// description, `None` on pass.
+///
+/// # Errors
+///
+/// [`VerifyError`] if the scenario is invalid or an engine rejects it.
+pub fn reduce_monotone_in_bandwidth(scenario: &Scenario) -> Result<Option<String>, VerifyError> {
+    let slow = reliable_variant(scenario);
+    let Some((holders, output_bytes, reducer_nodes)) = reduce_setup(&slow)? else {
+        return Ok(None);
+    };
+    let mut fast = slow.clone();
+    fast.bandwidth_mbps = slow.bandwidth_mbps * 2.0;
+    let at_base = slow.run_reduce_optimized(&holders, &output_bytes, &reducer_nodes, false)?;
+    let at_double = fast.run_reduce_optimized(&holders, &output_bytes, &reducer_nodes, false)?;
+    if completions(&at_double) < completions(&at_base) {
+        return Ok(Some(format!(
+            "doubling bandwidth completed fewer reducers: {} < {}",
+            completions(&at_double),
+            completions(&at_base)
+        )));
+    }
+    if at_base.report.completed && at_double.report.elapsed > at_base.report.elapsed + MONOTONE_TOL
+    {
+        return Ok(Some(format!(
+            "doubling bandwidth finished the reduce phase later: {} > {}",
+            at_double.report.elapsed, at_base.report.elapsed
+        )));
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +471,34 @@ mod tests {
     fn permutation_validation_rejects_bad_perm() {
         assert!(weights_permutation_equivariant(12.0, &mixed_cluster(), &[0, 0, 1, 2]).is_err());
         assert!(weights_permutation_equivariant(12.0, &mixed_cluster(), &[0]).is_err());
+    }
+
+    #[test]
+    fn shuffle_bytes_conserved_on_generated_scenarios() {
+        for seed in [1, 4] {
+            let s = crate::generator::generate_reduce_heavy(seed);
+            assert_eq!(shuffle_bytes_conserved(&s).unwrap(), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn topology_degeneracy_on_generated_scenarios() {
+        for seed in [2, 7] {
+            let s = crate::generator::generate(seed);
+            assert_eq!(topology_degeneracy(&s).unwrap(), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_monotonicity_on_generated_scenarios() {
+        for seed in [3, 6] {
+            let s = crate::generator::generate_reduce_heavy(seed);
+            assert_eq!(
+                reduce_monotone_in_bandwidth(&s).unwrap(),
+                None,
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

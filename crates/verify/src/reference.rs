@@ -525,6 +525,23 @@ impl ReferenceSim {
             .count()
     }
 
+    /// Cross-rack outbound flows active on `rack`'s uplink at `t` —
+    /// the engine's lazy stride scan, reproduced naively.
+    fn cross_rack_streams(&self, rack: u32, t: f64) -> usize {
+        let topo = self.cfg.topology();
+        let mut count = 0;
+        let mut ni = rack as usize;
+        while ni < self.nodes.len() {
+            count += self.nodes[ni]
+                .outbound
+                .iter()
+                .filter(|o| o.end > t && topo.rack_of(o.dest) != rack)
+                .count();
+            ni += topo.racks() as usize;
+        }
+        count
+    }
+
     fn admissible_source(&self, task: usize, t: f64) -> Option<u32> {
         // `<=` keeps the engine's last-wins tie order among minima.
         let mut best: Option<(usize, u32)> = None;
@@ -589,7 +606,21 @@ impl ReferenceSim {
                 .ok_or(SimError::InvariantViolation {
                     what: "remote attempt started without an alive source replica",
                 })?;
-            let end = t + self.cfg.transfer_seconds();
+            // Mirrors the engine: intra-rack fetches keep the flat time
+            // bit-identically; cross-rack fetches pay the oversubscribed
+            // uplink fair-shared over the flows active at commit time.
+            let cross_rack = !self.cfg.topology().same_rack(source, n);
+            let streams = if cross_rack {
+                self.cross_rack_streams(self.cfg.topology().rack_of(source), t) + 1
+            } else {
+                1
+            };
+            let end = t + self.cfg.topology().fair_share_seconds(
+                self.cfg.transfer_seconds(),
+                source,
+                n,
+                streams,
+            );
             let src = &mut self.nodes[source as usize];
             src.serving.retain(|&e| e > t);
             src.serving.push(end);
@@ -604,6 +635,17 @@ impl ReferenceSim {
             self.telemetry
                 .transfer_bytes
                 .record(self.cfg.block_size().bytes());
+            if cross_rack {
+                self.telemetry.transfers_cross_rack.incr();
+                self.telemetry.link_streams_hwm.record(streams as u64);
+                if streams > 1 {
+                    self.emit(TraceEvent::LinkContention {
+                        rack: self.cfg.topology().rack_of(source),
+                        streams: streams as u32,
+                        t,
+                    });
+                }
+            }
             transfer_source = Some(source);
             end
         };
@@ -1079,5 +1121,36 @@ mod tests {
         assert!(detailed.report.completed);
         assert_eq!(detailed.report.local_tasks, 4);
         assert!((detailed.report.elapsed - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_matches_engine_under_rack_topology() {
+        use adapt_sim::engine::MapPhaseSim;
+        use adapt_sim::Topology;
+        use adapt_trace::TraceRecorder;
+        // Every block on node 0: nodes 1–3 steal concurrently, mixing
+        // intra-rack and contended cross-rack fetches.
+        let placement: Vec<Vec<NodeId>> = (0..6).map(|_| vec![NodeId(0)]).collect();
+        let processes: Vec<InterruptionProcess> =
+            (0..4).map(|_| InterruptionProcess::none()).collect();
+        let cfg = SimConfig::new(8.0, BlockSize::DEFAULT, 12.0)
+            .expect("valid config")
+            .with_topology(Topology::new(2, 2.5).expect("valid topology"));
+        let engine = MapPhaseSim::new(processes.clone(), placement.clone(), cfg)
+            .expect("valid sim")
+            .with_trace(TraceRecorder::new())
+            .run_detailed(2012)
+            .expect("engine runs");
+        let reference = ReferenceSim::new(processes, placement, cfg)
+            .expect("valid reference")
+            .run_detailed(2012)
+            .expect("reference runs");
+        // Traces differ only in presence (reference built without one
+        // here); everything else must match field for field.
+        assert_eq!(engine.report, reference.report);
+        assert_eq!(engine.node_stats, reference.node_stats);
+        assert_eq!(engine.winners, reference.winners);
+        assert_eq!(engine.telemetry, reference.telemetry);
+        assert!(engine.telemetry.transfers_cross_rack > 0);
     }
 }

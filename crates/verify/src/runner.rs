@@ -12,13 +12,14 @@
 use adapt_dfs::cluster::{NodeAvailability, NodeSpec};
 use adapt_telemetry::Value;
 
-use crate::generator::{generate, generate_jobstream};
+use crate::generator::{generate, generate_jobstream, generate_reduce_heavy};
 use crate::jobstream::{check_jobstream, JobStreamScenario};
 use crate::metamorphic::{
-    monte_carlo_check, threshold_cap_holds, weights_permutation_equivariant,
-    weights_scale_invariant, McCheck, MC_REGIMES,
+    monte_carlo_check, reduce_monotone_in_bandwidth, shuffle_bytes_conserved, threshold_cap_holds,
+    topology_degeneracy, weights_permutation_equivariant, weights_scale_invariant, McCheck,
+    MC_REGIMES,
 };
-use crate::oracle::{check_scenario, Divergence};
+use crate::oracle::{check_reduce_scenario, check_scenario, Divergence};
 use crate::scenario::{NodeKind, Scenario};
 use crate::shrink::shrink;
 
@@ -91,6 +92,9 @@ pub struct FuzzReport {
     pub seeds_run: usize,
     /// Oracle failures, each shrunk to a minimal reproducer.
     pub failures: Vec<FailureArtifact>,
+    /// Reduce-phase lockstep failures (all three placement strategies),
+    /// each shrunk to a minimal reproducer.
+    pub reduce_failures: Vec<FailureArtifact>,
     /// Multi-job lockstep failures (all three scheduling policies).
     pub jobstream_failures: Vec<JobStreamFailure>,
     /// Monte-Carlo bracketing results, one per regime in
@@ -112,6 +116,7 @@ impl FuzzReport {
     /// bracketed, invariance drifts inside tolerance, no errors.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+            && self.reduce_failures.is_empty()
             && self.jobstream_failures.is_empty()
             && self.errors.is_empty()
             && self.mc_checks.iter().all(|c| c.pass)
@@ -154,6 +159,11 @@ impl FuzzReport {
             .iter()
             .map(JobStreamFailure::to_value)
             .collect();
+        let reduce_failures: Vec<Value> = self
+            .reduce_failures
+            .iter()
+            .map(FailureArtifact::to_value)
+            .collect();
         let mut v = Value::object();
         v.insert("base_seed", self.base_seed);
         v.insert("errors", errors);
@@ -164,6 +174,7 @@ impl FuzzReport {
         v.insert("max_threshold_load", self.max_threshold_load);
         v.insert("mc_checks", mc);
         v.insert("passed", self.passed());
+        v.insert("reduce_failures", reduce_failures);
         v.insert("seeds_run", self.seeds_run);
         v
     }
@@ -228,15 +239,68 @@ fn check_placement_layer(report: &mut FuzzReport, seed: u64, scenario: &Scenario
     }
 }
 
+/// Runs the reduce-phase lockstep oracle on one scenario, shrinking any
+/// failure to its kernel across every dimension — tasks, nodes, failure
+/// processes, scheduler flags, reducers, skew, and topology.
+fn check_reduce_layer(report: &mut FuzzReport, seed: u64, scenario: &Scenario) {
+    match check_reduce_scenario(scenario) {
+        Ok(None) => {}
+        Ok(Some(_)) => {
+            let minimized = shrink(scenario.clone(), |c| {
+                matches!(check_reduce_scenario(c), Ok(Some(_)))
+            });
+            if let Ok(Some(divergence)) = check_reduce_scenario(&minimized) {
+                report.reduce_failures.push(FailureArtifact {
+                    seed,
+                    divergence,
+                    minimized,
+                });
+            } else {
+                report.errors.push(format!(
+                    "seed {seed}: reduce divergence vanished while shrinking"
+                ));
+            }
+        }
+        Err(e) => report
+            .errors
+            .push(format!("seed {seed}: reduce oracle error: {e}")),
+    }
+}
+
+/// Runs the reduce/shuffle metamorphic properties on one scenario,
+/// folding violations into the report's error list.
+fn check_reduce_metamorphic(report: &mut FuzzReport, seed: u64, scenario: &Scenario) {
+    let checks = [
+        ("shuffle conservation", shuffle_bytes_conserved(scenario)),
+        ("topology degeneracy", topology_degeneracy(scenario)),
+        (
+            "bandwidth monotonicity",
+            reduce_monotone_in_bandwidth(scenario),
+        ),
+    ];
+    for (name, result) in checks {
+        match result {
+            Ok(None) => {}
+            Ok(Some(violation)) => report
+                .errors
+                .push(format!("seed {seed}: {name}: {violation}")),
+            Err(e) => report.errors.push(format!("seed {seed}: {name}: {e}")),
+        }
+    }
+}
+
 /// Runs the full verification sweep: `count` generated scenarios from
 /// `base_seed` through the differential oracle (shrinking any failure),
-/// the placement-layer metamorphic checks per scenario, and the
-/// Monte-Carlo regime gate.
+/// the reduce-phase lockstep oracle on both the plain corpus and its
+/// reduce-heavy re-draw, the reduce/shuffle metamorphic properties, the
+/// placement-layer metamorphic checks per scenario, and the Monte-Carlo
+/// regime gate.
 pub fn run_corpus(base_seed: u64, count: usize) -> FuzzReport {
     let mut report = FuzzReport {
         base_seed,
         seeds_run: count,
         failures: Vec::new(),
+        reduce_failures: Vec::new(),
         jobstream_failures: Vec::new(),
         mc_checks: Vec::new(),
         max_scale_diff: 0.0,
@@ -271,6 +335,34 @@ pub fn run_corpus(base_seed: u64, count: usize) -> FuzzReport {
         }
         let scenario = generate(seed);
         check_placement_layer(&mut report, seed, &scenario);
+        // The reduce-phase lockstep oracle on the plain corpus, then on
+        // its reduce-heavy re-draw (same map inputs, shuffle-dominant
+        // dimensions), which also runs through the map oracle — the
+        // multi-rack topology changes map-phase transfers too.
+        check_reduce_layer(&mut report, seed, &scenario);
+        let heavy = generate_reduce_heavy(seed);
+        match check_scenario(&heavy) {
+            Ok(None) => {}
+            Ok(Some(_)) => {
+                let minimized = shrink(heavy.clone(), |c| matches!(check_scenario(c), Ok(Some(_))));
+                if let Ok(Some(divergence)) = check_scenario(&minimized) {
+                    report.failures.push(FailureArtifact {
+                        seed,
+                        divergence,
+                        minimized,
+                    });
+                } else {
+                    report.errors.push(format!(
+                        "seed {seed}: reduce-heavy divergence vanished while shrinking"
+                    ));
+                }
+            }
+            Err(e) => report
+                .errors
+                .push(format!("seed {seed}: reduce-heavy oracle error: {e}")),
+        }
+        check_reduce_layer(&mut report, seed, &heavy);
+        check_reduce_metamorphic(&mut report, seed, &heavy);
         // The multi-job lockstep check: both trackers, all three
         // scheduling policies, full-outcome equality.
         let stream = generate_jobstream(seed);

@@ -9,15 +9,19 @@
 //! and replayed later.
 
 use adapt_availability::dist::Dist;
+use adapt_dfs::cluster::NodeAvailability;
+use adapt_dfs::placement::{ClusterView, NodeView};
 use adapt_dfs::{BlockSize, NodeId};
 use adapt_sim::engine::{DetailedReport, MapPhaseSim, SchedulingMode, SimConfig};
 use adapt_sim::interrupt::InterruptionProcess;
+use adapt_sim::{ReduceDetailed, ReducePhaseSim, Topology};
 use adapt_telemetry::Value;
 use adapt_trace::TraceRecorder;
 use adapt_traces::record::Interruption;
 use adapt_traces::replay::InterruptionSchedule;
 
 use crate::reference::ReferenceSim;
+use crate::reference_reduce::ReferenceReduce;
 use crate::VerifyError;
 
 /// The interruption behaviour of one simulated node.
@@ -71,6 +75,18 @@ pub struct Scenario {
     pub fetch_failure: bool,
     /// Simulation horizon, seconds.
     pub horizon: f64,
+    /// Number of reduce tasks the scenario's reduce phase runs.
+    pub reducers: usize,
+    /// Failure-free reduce compute time, seconds.
+    pub reduce_gamma: f64,
+    /// Map-output skew: every fourth map task emits `shuffle_skew`
+    /// blocks of intermediate output, the rest one block (`1` = no
+    /// skew).
+    pub shuffle_skew: u64,
+    /// Rack count of the network topology (`1` = single rack).
+    pub racks: u32,
+    /// Core oversubscription ratio (`1.0` = non-blocking core).
+    pub oversubscription: f64,
 }
 
 /// Builds the per-node interruption processes for a node list — shared
@@ -138,12 +154,37 @@ impl Scenario {
         build_processes(&self.nodes, self.horizon)
     }
 
-    /// Builds the engine configuration.
+    /// The scenario's network topology.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::InvalidScenario`] for zero racks or an
+    /// oversubscription ratio outside `[1, ∞)`.
+    pub fn topology(&self) -> Result<Topology, VerifyError> {
+        Topology::new(self.racks, self.oversubscription).map_err(|e| VerifyError::InvalidScenario {
+            reason: format!("topology: {e}"),
+        })
+    }
+
+    /// Builds the engine configuration with the scenario's topology
+    /// installed.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] if any parameter is out of domain,
+    /// [`VerifyError::InvalidScenario`] for an invalid topology.
+    pub fn sim_config(&self) -> Result<SimConfig, VerifyError> {
+        Ok(self.sim_config_flat()?.with_topology(self.topology()?))
+    }
+
+    /// [`sim_config`](Self::sim_config) without any topology installed —
+    /// the pre-topology flat configuration the degeneracy metamorphic
+    /// check compares against.
     ///
     /// # Errors
     ///
     /// [`VerifyError::Sim`] if any parameter is out of domain.
-    pub fn sim_config(&self) -> Result<SimConfig, VerifyError> {
+    pub fn sim_config_flat(&self) -> Result<SimConfig, VerifyError> {
         let scheduling = if self.availability_aware {
             SchedulingMode::AvailabilityAware
         } else {
@@ -185,6 +226,21 @@ impl Scenario {
         Ok(sim.run_detailed(self.seed)?)
     }
 
+    /// Runs the optimized engine on the pre-topology flat configuration
+    /// (no topology installed), for the degeneracy metamorphic check.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] on configuration or engine errors.
+    pub fn run_optimized_flat(&self) -> Result<DetailedReport, VerifyError> {
+        let sim = MapPhaseSim::new(
+            self.processes()?,
+            self.node_placement(),
+            self.sim_config_flat()?,
+        )?;
+        Ok(sim.run_detailed(self.seed)?)
+    }
+
     /// Runs the naive reference engine on this scenario.
     ///
     /// # Errors
@@ -198,6 +254,151 @@ impl Scenario {
             sim
         };
         Ok(sim.run_detailed(self.seed)?)
+    }
+
+    /// Intermediate output of map task `task`, bytes: every fourth task
+    /// emits `shuffle_skew` blocks, the rest one block.
+    pub fn map_output_bytes(&self, task: usize) -> u64 {
+        if task.is_multiple_of(4) {
+            self.block_bytes.saturating_mul(self.shuffle_skew)
+        } else {
+            self.block_bytes
+        }
+    }
+
+    /// Builds the reduce phase's inputs from the map phase's winners:
+    /// `holders[i]` is the (single-node) location of the i-th *completed*
+    /// map task's output and `output_bytes[i]` its size. Tasks unfinished
+    /// at the map horizon (`None` winners) are skipped, matching a
+    /// JobTracker that only shuffles materialized output.
+    pub fn reduce_inputs(&self, winners: &[Option<NodeId>]) -> (Vec<Vec<NodeId>>, Vec<u64>) {
+        let mut holders = Vec::new();
+        let mut bytes = Vec::new();
+        for (task, winner) in winners.iter().enumerate() {
+            if let Some(node) = winner {
+                holders.push(vec![*node]);
+                bytes.push(self.map_output_bytes(task));
+            }
+        }
+        (holders, bytes)
+    }
+
+    /// A placement-time cluster snapshot for the task-placement
+    /// strategies: every node alive, synthetic nodes carrying their
+    /// M/G/1 availability model, reliable and scheduled nodes dedicated
+    /// (a fixed schedule has no stationary model), racks from the
+    /// scenario topology.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::InvalidScenario`] for an invalid topology.
+    pub fn cluster_view(&self) -> Result<ClusterView, VerifyError> {
+        let topo = self.topology()?;
+        let views = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                let availability = match kind {
+                    NodeKind::Synthetic {
+                        mtbi,
+                        mean_recovery,
+                    } => NodeAvailability::from_mtbi(*mtbi, *mean_recovery)
+                        .unwrap_or_else(|_| NodeAvailability::reliable()),
+                    NodeKind::Reliable | NodeKind::Scheduled { .. } => NodeAvailability::reliable(),
+                };
+                NodeView {
+                    id: NodeId(i as u32),
+                    availability,
+                    alive: true,
+                    stored_blocks: 0,
+                    capacity_blocks: None,
+                    rack: topo.rack_of(i as u32),
+                }
+            })
+            .collect();
+        Ok(ClusterView::new(views))
+    }
+
+    /// Runs the optimized reduce engine on this scenario's cluster with
+    /// the given map-output locations and reducer hosts.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] on configuration or engine errors.
+    pub fn run_reduce_optimized(
+        &self,
+        holders: &[Vec<NodeId>],
+        output_bytes: &[u64],
+        reducer_nodes: &[NodeId],
+        traced: bool,
+    ) -> Result<ReduceDetailed, VerifyError> {
+        let sim = ReducePhaseSim::new(
+            self.processes()?,
+            holders.to_vec(),
+            output_bytes.to_vec(),
+            reducer_nodes.to_vec(),
+            self.sim_config()?,
+            self.reduce_gamma,
+        )?;
+        let sim = if traced {
+            sim.with_trace(TraceRecorder::new())
+        } else {
+            sim
+        };
+        Ok(sim.run(self.seed)?)
+    }
+
+    /// [`run_reduce_optimized`](Self::run_reduce_optimized) on the
+    /// pre-topology flat configuration, for the degeneracy check.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] on configuration or engine errors.
+    pub fn run_reduce_optimized_flat(
+        &self,
+        holders: &[Vec<NodeId>],
+        output_bytes: &[u64],
+        reducer_nodes: &[NodeId],
+    ) -> Result<ReduceDetailed, VerifyError> {
+        let sim = ReducePhaseSim::new(
+            self.processes()?,
+            holders.to_vec(),
+            output_bytes.to_vec(),
+            reducer_nodes.to_vec(),
+            self.sim_config_flat()?,
+            self.reduce_gamma,
+        )?;
+        Ok(sim.run(self.seed)?)
+    }
+
+    /// Runs the naive lockstep reduce reference on this scenario's
+    /// cluster with the given map-output locations and reducer hosts.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] on configuration or engine errors.
+    pub fn run_reduce_reference(
+        &self,
+        holders: &[Vec<NodeId>],
+        output_bytes: &[u64],
+        reducer_nodes: &[NodeId],
+        traced: bool,
+    ) -> Result<ReduceDetailed, VerifyError> {
+        let sim = ReferenceReduce::new(
+            self.processes()?,
+            holders.to_vec(),
+            output_bytes.to_vec(),
+            reducer_nodes.to_vec(),
+            self.sim_config()?,
+            self.reduce_gamma,
+        )?;
+        let sim = if traced {
+            sim.with_trace(TraceRecorder::new())
+        } else {
+            sim
+        };
+        Ok(sim.run(self.seed)?)
     }
 
     /// Serializes the scenario as a JSON object with stable keys, the
@@ -258,8 +459,13 @@ impl Scenario {
         v.insert("max_copies", self.max_copies);
         v.insert("max_source_streams", self.max_source_streams);
         v.insert("nodes", nodes);
+        v.insert("oversubscription", self.oversubscription);
         v.insert("placement", placement);
+        v.insert("racks", u64::from(self.racks));
+        v.insert("reduce_gamma", self.reduce_gamma);
+        v.insert("reducers", self.reducers);
         v.insert("seed", self.seed);
+        v.insert("shuffle_skew", self.shuffle_skew);
         v.insert("speculation", self.speculation);
         v
     }
@@ -284,6 +490,11 @@ mod tests {
             detection_delay: 0.0,
             fetch_failure: false,
             horizon: 1e6,
+            reducers: 2,
+            reduce_gamma: 10.0,
+            shuffle_skew: 1,
+            racks: 1,
+            oversubscription: 1.0,
         }
     }
 

@@ -33,7 +33,11 @@ pub fn size(s: &Scenario) -> usize {
         + usize::from(s.availability_aware)
         + usize::from(s.detection_delay > 0.0)
         + s.max_copies;
-    s.placement.len() + s.nodes.len() + outages + flags
+    let reduce = s.reducers
+        + usize::from(s.shuffle_skew > 1)
+        + s.racks as usize
+        + usize::from(s.oversubscription > 1.0);
+    s.placement.len() + s.nodes.len() + outages + flags + reduce
 }
 
 fn remove_task_range(s: &Scenario, start: usize, len: usize) -> Option<Scenario> {
@@ -141,6 +145,43 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         c.max_copies = 1;
         out.push(c);
     }
+    // 5. Simplify the reduce/shuffle dimensions: halve the reducer
+    //    count, drop the output skew, collapse the topology. Flattening
+    //    to one rack also clears the oversubscription ratio (it is
+    //    meaningless without a core link), which keeps the size measure
+    //    strictly decreasing.
+    if s.reducers > 1 {
+        let mut c = s.clone();
+        c.reducers = 1;
+        out.push(c);
+        if s.reducers > 2 {
+            let mut c = s.clone();
+            c.reducers = (s.reducers / 2).max(2);
+            out.push(c);
+        }
+    }
+    if s.shuffle_skew > 1 {
+        let mut c = s.clone();
+        c.shuffle_skew = 1;
+        out.push(c);
+    }
+    if s.racks > 1 {
+        let mut c = s.clone();
+        c.racks = 1;
+        c.oversubscription = 1.0;
+        out.push(c);
+    }
+    if s.racks > 2 {
+        // Two racks is the smallest topology with a core link at all.
+        let mut c = s.clone();
+        c.racks = 2;
+        out.push(c);
+    }
+    if s.oversubscription > 1.0 {
+        let mut c = s.clone();
+        c.oversubscription = 1.0;
+        out.push(c);
+    }
     out
 }
 
@@ -196,6 +237,29 @@ mod tests {
         assert!(matches!(min.nodes[0], NodeKind::Reliable));
         assert!(!min.fetch_failure);
         assert_eq!(min.max_copies, 1);
+        // Reduce dimensions irrelevant to the predicate collapse too.
+        assert_eq!(min.reducers, 1);
+        assert_eq!(min.shuffle_skew, 1);
+        assert_eq!(min.racks, 1);
+        assert_eq!(min.oversubscription, 1.0);
+    }
+
+    #[test]
+    fn shrinks_the_reduce_dimensions_to_their_kernel() {
+        // Synthetic failure: "fails whenever at least two reducers pull
+        // skewed output across an oversubscribed core". The minimum
+        // keeps exactly those ingredients and nothing else.
+        let s = crate::generator::generate_reduce_heavy(2);
+        let fails = |c: &Scenario| {
+            c.reducers >= 2 && c.shuffle_skew > 1 && c.racks > 1 && c.oversubscription > 1.0
+        };
+        assert!(fails(&s), "heavy corpus must trigger the synthetic bug");
+        let min = shrink(s, fails);
+        assert!(fails(&min));
+        assert_eq!(min.reducers, 2);
+        assert_eq!(min.racks, 2);
+        assert_eq!(min.placement.len(), 1);
+        assert!(min.nodes.iter().all(|n| matches!(n, NodeKind::Reliable)));
     }
 
     #[test]

@@ -65,6 +65,11 @@ fn engines_agree_on_handpicked_edge_cases() {
         detection_delay: 5.0,
         fetch_failure: true,
         horizon: 1_000.0,
+        reducers: 2,
+        reduce_gamma: 10.0,
+        shuffle_skew: 1,
+        racks: 1,
+        oversubscription: 1.0,
     };
     assert_eq!(check_scenario(&stranded).unwrap(), None);
 
@@ -89,6 +94,11 @@ fn engines_agree_on_handpicked_edge_cases() {
         detection_delay: 0.0,
         fetch_failure: false,
         horizon: 10_000.0,
+        reducers: 2,
+        reduce_gamma: 10.0,
+        shuffle_skew: 1,
+        racks: 1,
+        oversubscription: 1.0,
     };
     assert_eq!(check_scenario(&tie).unwrap(), None);
 }

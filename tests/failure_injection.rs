@@ -254,6 +254,11 @@ fn mtbi_shorter_than_block_compute_time_still_completes() {
         detection_delay: 0.0,
         fetch_failure: false,
         horizon: 1e6,
+        reducers: 2,
+        reduce_gamma: 10.0,
+        shuffle_skew: 1,
+        racks: 1,
+        oversubscription: 1.0,
     };
     assert_eq!(adapt::verify::check_scenario(&scenario).unwrap(), None);
 }
@@ -317,6 +322,11 @@ fn all_nodes_down_window_strands_and_resumes_every_task() {
         detection_delay: 0.0,
         fetch_failure: true,
         horizon: 1e6,
+        reducers: 2,
+        reduce_gamma: 10.0,
+        shuffle_skew: 1,
+        racks: 1,
+        oversubscription: 1.0,
     };
     assert_eq!(adapt::verify::check_scenario(&scenario).unwrap(), None);
 }
